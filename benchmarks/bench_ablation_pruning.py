@@ -1,0 +1,50 @@
+"""Ablation — what implicit condition 2 (send-time destination pruning)
+buys Opt-Track.
+
+DESIGN.md calls out the KS pruning rules as the design choice behind
+Opt-Track's near-linear metadata growth.  This bench runs the same
+workload through Opt-Track and through the no-pruning variant and
+reports log sizes and metadata bytes; the gap is the value of the rule.
+"""
+
+import sys
+
+from _common import OPS, SEEDS, run_standalone, show
+
+from repro.experiments.sweep import averaged_cell
+
+NS = (5, 10, 15)
+WRATE = 0.5
+
+
+def compute_rows():
+    rows = []
+    for n in NS:
+        pruned = averaged_cell("opt-track", n, WRATE,
+                               ops_per_process=OPS, seeds=SEEDS)
+        unpruned = averaged_cell("opt-track-noprune", n, WRATE,
+                                 ops_per_process=OPS, seeds=SEEDS)
+        rows.append({
+            "n": n,
+            "pruned_log": pruned["mean_log_size"],
+            "unpruned_log": unpruned["mean_log_size"],
+            "pruned_KB": pruned["total_metadata_bytes"] / 1000,
+            "unpruned_KB": unpruned["total_metadata_bytes"] / 1000,
+            "bytes_blowup": (unpruned["total_metadata_bytes"]
+                             / pruned["total_metadata_bytes"]),
+        })
+    return rows
+
+
+def test_ablation_send_time_pruning(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    show(rows, "Ablation: Opt-Track with vs without condition-2 pruning")
+    for row in rows:
+        assert row["unpruned_log"] > row["pruned_log"]
+        assert row["bytes_blowup"] > 1.0
+    # the gap widens with system size: pruning matters more at scale
+    assert rows[-1]["bytes_blowup"] > rows[0]["bytes_blowup"]
+
+
+if __name__ == "__main__":
+    sys.exit(run_standalone(test_ablation_send_time_pruning))

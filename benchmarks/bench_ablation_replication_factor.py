@@ -1,0 +1,65 @@
+"""Ablation — sensitivity of partial replication's advantage to the
+replication factor p.
+
+The paper fixes p = 0.3 n; eq. (1)'s derivation shows the *crossover*
+write rate is independent of p, but the magnitude of the message-count
+advantage is not.  This bench sweeps p at fixed n and verifies both: the
+win/lose direction never changes with p, while the message count grows
+monotonically with p until it meets the full-replication cost at p = n.
+"""
+
+import sys
+
+from _common import OPS, run_standalone, show
+
+from repro.analysis.model import (
+    full_replication_message_count,
+    partial_replication_message_count,
+)
+from repro.experiments.runner import SimulationConfig, run_simulation
+from repro.workload.generator import generate_workload
+
+N = 12
+WRATE = 0.5
+PS = (1, 2, 4, 6, 9, 12)
+
+
+def compute_rows():
+    workload = generate_workload(N, write_rate=WRATE, ops_per_process=OPS, seed=0)
+    w = round(0.85 * workload.total_writes)  # measured window approximation
+    r = round(0.85 * workload.total_reads)
+    full_analytic = full_replication_message_count(N, w)
+    rows = []
+    for p in PS:
+        cfg = SimulationConfig(protocol="opt-track", n_sites=N,
+                               replication_factor=p, write_rate=WRATE,
+                               ops_per_process=OPS, seed=0)
+        result = run_simulation(cfg, workload=workload)
+        rows.append({
+            "p": p,
+            "messages": result.collector.total_message_count,
+            "analytic": partial_replication_message_count(N, p, w, r),
+            "metadata_KB": result.collector.total_metadata_bytes / 1000,
+            "vs_full": result.collector.total_message_count / full_analytic,
+        })
+    return rows
+
+
+def test_ablation_replication_factor(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    show(rows, f"Ablation: replication factor sweep (n={N}, w_rate={WRATE})")
+    # message count rises with p (more SM copies beat fewer fetches at
+    # this write rate)
+    counts = [r["messages"] for r in rows]
+    assert counts == sorted(counts)
+    # w_rate=0.5 > 2/(n+1): partial must win at every p < n (eq. 1 says
+    # the direction is p-independent)
+    for row in rows[:-1]:
+        assert row["vs_full"] < 1.0, row
+    # analytic model tracks the simulation
+    for row in rows:
+        assert abs(row["messages"] - row["analytic"]) / row["analytic"] < 0.1
+
+
+if __name__ == "__main__":
+    sys.exit(run_standalone(test_ablation_replication_factor))

@@ -1,0 +1,64 @@
+"""Eq. (1)/(2) — the analytic partial-vs-full crossover, validated by
+simulation.
+
+The paper derives that partial replication sends fewer messages iff
+w_rate > 2/(n+1), independent of the replication factor p.  This bench
+sweeps write rates through each n's threshold and checks the simulated
+message-count ratio crosses 1.0 exactly where the closed form says.
+"""
+
+import sys
+
+import pytest
+from _common import paired_counts, run_standalone, show
+
+from repro.analysis.tradeoff import crossover_write_rate, message_count_ratio
+from repro.memory.replication import paper_replication_factor
+
+NS = (5, 10, 20, 40)
+WRATES = (0.05, 0.15, 0.25, 0.35, 0.5, 0.8)
+
+
+def compute_eq2_rows():
+    rows = []
+    for n in NS:
+        threshold = crossover_write_rate(n)
+        p = paper_replication_factor(n)
+        for wr in WRATES:
+            full, partial, w, r = paired_counts(n, wr)
+            realized = w / (w + r) if (w + r) else 0.0
+            rows.append({
+                "n": n,
+                "write_rate": wr,
+                "threshold": threshold,
+                "sim_ratio": partial / full if full else float("inf"),
+                # analytic prediction from the *realized* operation mix
+                "analytic_ratio": message_count_ratio(n, p, realized),
+                "partial_wins_sim": partial < full,
+                "partial_wins_eq2": wr > threshold,
+            })
+    return rows
+
+
+def test_eq2_crossover(benchmark):
+    rows = benchmark.pedantic(compute_eq2_rows, rounds=1, iterations=1)
+    show(rows, "Eq. (2): simulated vs analytic crossover")
+
+    mismatches = []
+    for row in rows:
+        # near the threshold, workload sampling can flip the outcome;
+        # demand agreement once the write rate is clearly on one side
+        if abs(row["write_rate"] - row["threshold"]) < 0.05:
+            continue
+        if row["partial_wins_sim"] != row["partial_wins_eq2"]:
+            mismatches.append((row["n"], row["write_rate"]))
+        # the analytic ratio should predict the simulated ratio closely
+        if row["analytic_ratio"] != float("inf"):
+            assert row["sim_ratio"] == pytest.approx(
+                row["analytic_ratio"], rel=0.15
+            ), (row["n"], row["write_rate"])
+    assert not mismatches, f"eq. (2) mispredicted at {mismatches}"
+
+
+if __name__ == "__main__":
+    sys.exit(run_standalone(test_eq2_crossover))

@@ -1,0 +1,74 @@
+"""Extension — metadata size as latency: constrained uplinks.
+
+The paper measures metadata in bytes and treats timing separately.
+Under a finite uplink bandwidth the two collide: every byte of
+piggybacked causality metadata occupies the sender's uplink before the
+next message can depart.  This bench runs all four protocols over
+identical 10-100 ms links with progressively tighter uplinks and
+reports update-visibility latency — Full-Track's O(n^2) matrices turn
+into real queueing delay, Opt-Track/CRP's lean metadata does not.
+"""
+
+import sys
+
+from _common import OPS, run_standalone, show
+
+from repro.experiments.runner import SimulationConfig, run_simulation
+from repro.sim.network import UniformLatency
+
+N = 20
+WRATE = 0.5
+#: uplink capacities in bytes/ms (None = the paper's infinite model)
+BANDWIDTHS = (None, 200.0, 25.0)
+
+
+def compute_rows():
+    rows = []
+    for bw in BANDWIDTHS:
+        for protocol in ("full-track", "opt-track", "optp", "opt-track-crp"):
+            cfg = SimulationConfig(
+                protocol=protocol, n_sites=N, write_rate=WRATE,
+                ops_per_process=OPS, seed=0,
+                latency=UniformLatency(10.0, 100.0),
+                bandwidth_bytes_per_ms=bw,
+            )
+            result = run_simulation(cfg)
+            col = result.collector
+            rows.append({
+                "uplink_B_per_ms": bw if bw is not None else "inf",
+                "protocol": protocol,
+                "sm_mean_B": col.as_dict()["SM_mean_bytes"],
+                "mean_visibility_ms": col.visibility_lags.mean,
+                "max_visibility_ms": col.visibility_lags.maximum,
+            })
+    return rows
+
+
+def test_ext_bandwidth(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    show(rows, f"Extension: visibility latency under constrained uplinks "
+               f"(n={N}, w_rate={WRATE})")
+
+    def vis(bw, protocol):
+        return next(r["mean_visibility_ms"] for r in rows
+                    if r["uplink_B_per_ms"] == (bw or "inf")
+                    and r["protocol"] == protocol)
+
+    # infinite bandwidth: metadata size is latency-free, protocols tie
+    assert abs(vis(None, "full-track") - vis(None, "opt-track")) < 10.0
+    # tight uplinks: Full-Track's matrices cost real time
+    assert vis(25.0, "full-track") > 1.5 * vis(25.0, "opt-track")
+    # and every lean-metadata protocol degrades strictly less than
+    # Full-Track, both absolutely and relative to its own baseline
+    ft_blowup = vis(25.0, "full-track") / vis(None, "full-track")
+    for protocol in ("opt-track", "optp", "opt-track-crp"):
+        assert vis(25.0, protocol) < vis(25.0, "full-track")
+        assert vis(25.0, protocol) / vis(None, protocol) < ft_blowup
+    # tighter uplink never improves visibility
+    for protocol in ("full-track", "opt-track"):
+        assert vis(25.0, protocol) >= vis(200.0, protocol) - 1e-6
+        assert vis(200.0, protocol) >= vis(None, protocol) - 1e-6
+
+
+if __name__ == "__main__":
+    sys.exit(run_standalone(test_ext_bandwidth))

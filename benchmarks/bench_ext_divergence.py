@@ -1,0 +1,56 @@
+"""Extension — replica divergence under causal consistency.
+
+Causal memory lets concurrent writes settle in different orders at
+different replicas (no convergence guarantee — the gap "causal+"
+systems close).  This bench measures how often that actually happens as
+a function of write rate: the fraction of written variables whose
+replicas disagree at quiescence, for a full-replication and a
+partial-replication protocol.  Divergence legitimacy (concurrent-only)
+is verified by the convergence checker in the same pass.
+"""
+
+import sys
+
+from _common import OPS, run_standalone, show
+
+from repro.experiments.runner import SimulationConfig, run_simulation
+from repro.verify.convergence import check_convergence
+
+N = 8
+WRATES = (0.2, 0.5, 0.8)
+
+
+def compute_rows():
+    rows = []
+    for protocol in ("optp", "opt-track"):
+        for wr in WRATES:
+            cfg = SimulationConfig(protocol=protocol, n_sites=N, n_vars=40,
+                                   write_rate=wr, ops_per_process=OPS,
+                                   seed=0, record_history=True)
+            result = run_simulation(cfg)
+            report = check_convergence(result.protocols, result.history)
+            assert report.ok, report.illegitimate[:3]
+            rows.append({
+                "protocol": protocol,
+                "write_rate": wr,
+                "divergent_vars": len(report.divergent),
+                "divergence_rate": report.divergence_rate,
+            })
+    return rows
+
+
+def test_ext_divergence(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    show(rows, f"Extension: replica divergence at quiescence (n={N}, q=40)")
+    # Every divergence was already checker-verified as concurrent-only
+    # inside compute_rows (an assertion there fails the bench otherwise).
+    # Magnitude is the finding: causal memory's non-convergence is *rare*
+    # in practice — most writes get causally ordered through read chains
+    # before the run ends — but it is not zero, which is exactly why
+    # causal+ systems add convergent conflict handling.
+    for r in rows:
+        assert 0.0 <= r["divergence_rate"] < 0.3
+
+
+if __name__ == "__main__":
+    sys.exit(run_standalone(test_ext_divergence))

@@ -1,0 +1,60 @@
+"""Extension — update visibility latency, partial vs full replication.
+
+Not an exhibit from the paper, but the question its Section V-C raises:
+full replication "might improve the latency for accessing these files",
+at a large messaging cost.  This bench quantifies the other side of the
+ledger the paper leaves qualitative — how long a write takes to become
+visible at remote replicas (issue -> causally-gated apply), and how long
+remote reads take under partial replication.
+"""
+
+import sys
+
+from _common import OPS, run_standalone, show
+
+from repro.experiments.runner import SimulationConfig, run_simulation
+from repro.sim.network import UniformLatency
+
+PROTOCOLS = ("opt-track", "full-track", "opt-track-crp", "optp")
+N = 12
+WRATE = 0.5
+
+
+def compute_rows():
+    rows = []
+    for protocol in PROTOCOLS:
+        cfg = SimulationConfig(protocol=protocol, n_sites=N, write_rate=WRATE,
+                               ops_per_process=OPS, seed=0,
+                               latency=UniformLatency(10.0, 100.0))
+        result = run_simulation(cfg)
+        col = result.collector
+        rows.append({
+            "protocol": protocol,
+            "p": result.placement.replication_factor,
+            "mean_visibility_ms": col.visibility_lags.mean,
+            "max_visibility_ms": col.visibility_lags.maximum,
+            "mean_read_rtt_ms": (col.fetch_rtts.mean if col.fetch_rtts.count else 0.0),
+            "remote_reads": col.ops_read_remote,
+        })
+    return rows
+
+
+def test_ext_visibility_latency(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    show(rows, f"Extension: update visibility latency (n={N}, w_rate={WRATE})")
+    by_proto = {r["protocol"]: r for r in rows}
+    for row in rows:
+        # visibility is bounded below by the one-way delay and should sit
+        # within the same order of magnitude as the 10-100 ms network
+        assert 10.0 <= row["mean_visibility_ms"] < 500.0, row
+    # full replication never fetches; partial replication pays RTTs on
+    # its remote reads — the latency cost the paper trades against
+    for proto in ("opt-track-crp", "optp"):
+        assert by_proto[proto]["remote_reads"] == 0
+    for proto in ("opt-track", "full-track"):
+        assert by_proto[proto]["remote_reads"] > 0
+        assert by_proto[proto]["mean_read_rtt_ms"] >= 20.0  # two one-way hops
+
+
+if __name__ == "__main__":
+    sys.exit(run_standalone(test_ext_visibility_latency))

@@ -1,0 +1,54 @@
+"""Fig. 1 — total message meta-data space overhead as a function of n and
+w_rate in partial replication protocols (Opt-Track / Full-Track ratio).
+
+Paper's finding: the ratio falls rapidly with n — around 0.9 at n=5 and
+only 0.1-0.2 at n=40 — and a higher write rate magnifies Opt-Track's
+advantage.
+"""
+
+import sys
+
+from _common import OPS, SEEDS, cell, chart, run_standalone, show
+
+from repro.experiments.configs import PARTIAL_NS, WRITE_RATES
+
+
+def compute_fig1_rows():
+    rows = []
+    for wr in WRITE_RATES:
+        for n in PARTIAL_NS:
+            ot = cell("opt-track", n, wr)
+            ft = cell("full-track", n, wr)
+            rows.append({
+                "n": n,
+                "write_rate": wr,
+                "opt_track_KB": ot.total_bytes / 1000,
+                "full_track_KB": ft.total_bytes / 1000,
+                "ratio": ot.total_bytes / ft.total_bytes,
+            })
+    return rows
+
+
+def test_fig1_total_overhead_ratio(benchmark):
+    rows = benchmark.pedantic(compute_fig1_rows, rounds=1, iterations=1)
+    show(rows, "Fig. 1: total metadata overhead ratio Opt-Track / Full-Track")
+    chart(
+        {
+            f"w={wr}": [(r["n"], r["ratio"]) for r in rows if r["write_rate"] == wr]
+            for wr in WRITE_RATES
+        },
+        title="Fig. 1 (ratio vs n)", x_label="n", y_label="ratio",
+    )
+    # shape assertions: ratio decreases with n at every write rate, and
+    # Opt-Track always wins at the larger system sizes
+    for wr in WRITE_RATES:
+        series = [r["ratio"] for r in rows if r["write_rate"] == wr]
+        assert series[-1] < series[0], f"ratio did not fall with n at w={wr}"
+        assert series[-1] < 0.5, "Opt-Track should win clearly at n=40"
+    # higher write rate magnifies the gap at n=40
+    at40 = {r["write_rate"]: r["ratio"] for r in rows if r["n"] == 40}
+    assert at40[0.8] < at40[0.2]
+
+
+if __name__ == "__main__":
+    sys.exit(run_standalone(test_fig1_total_overhead_ratio))

@@ -1,0 +1,34 @@
+"""Fig. 2 — average message meta-data space overhead as a function of n
+with w_rate = 0.2, partial replication protocols.
+
+Paper's finding: Full-Track's SM/RM sizes grow quadratically in n while
+Opt-Track's grow almost linearly; FM is a small constant for both.
+"""
+
+import sys
+
+from _common import (
+    assert_partial_avg_shapes,
+    chart,
+    partial_avg_rows,
+    run_standalone,
+    show,
+)
+
+
+def test_fig2_partial_avg_sizes_wrate_2(benchmark):
+    rows = benchmark.pedantic(partial_avg_rows, args=(0.2,), rounds=1, iterations=1)
+    show(rows, "Fig. 2: average metadata bytes per message (w_rate=0.2)")
+    chart(
+        {
+            "FT SM": [(r["n"], r["ft_sm_B"]) for r in rows],
+            "OT SM": [(r["n"], r["ot_sm_B"]) for r in rows],
+            "FM": [(r["n"], r["ot_fm_B"]) for r in rows],
+        },
+        title="Fig. 2 (bytes vs n, w_rate=0.2)", x_label="n", y_label="bytes",
+    )
+    assert_partial_avg_shapes(rows)
+
+
+if __name__ == "__main__":
+    sys.exit(run_standalone(test_fig2_partial_avg_sizes_wrate_2))

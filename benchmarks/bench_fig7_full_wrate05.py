@@ -1,0 +1,33 @@
+"""Fig. 7 — average SM meta-data space overhead as a function of n with
+w_rate = 0.5, full replication protocols.
+
+Paper's finding: optP's per-SM size is exactly linear in n (its Write
+vector), while Opt-Track-CRP's is O(d) — nearly flat in n.
+"""
+
+import sys
+
+from _common import (
+    assert_full_avg_shapes,
+    chart,
+    full_avg_rows,
+    run_standalone,
+    show,
+)
+
+
+def test_fig7_full_avg_sizes_wrate_5(benchmark):
+    rows = benchmark.pedantic(full_avg_rows, args=(0.5,), rounds=1, iterations=1)
+    show(rows, "Fig. 7: average SM metadata bytes (w_rate=0.5, full replication)")
+    chart(
+        {
+            "optP": [(r["n"], r["optp_sm_B"]) for r in rows],
+            "CRP": [(r["n"], r["crp_sm_B"]) for r in rows],
+        },
+        title="Fig. 7 (bytes vs n, w_rate=0.5)", x_label="n", y_label="bytes",
+    )
+    assert_full_avg_shapes(rows)
+
+
+if __name__ == "__main__":
+    sys.exit(run_standalone(test_fig7_full_avg_sizes_wrate_5))

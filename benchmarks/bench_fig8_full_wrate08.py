@@ -1,0 +1,33 @@
+"""Fig. 8 — average SM meta-data space overhead as a function of n with
+w_rate = 0.8, full replication protocols.
+
+Paper's finding: optP's per-SM size is exactly linear in n (its Write
+vector), while Opt-Track-CRP's is O(d) — nearly flat in n.
+"""
+
+import sys
+
+from _common import (
+    assert_full_avg_shapes,
+    chart,
+    full_avg_rows,
+    run_standalone,
+    show,
+)
+
+
+def test_fig8_full_avg_sizes_wrate_8(benchmark):
+    rows = benchmark.pedantic(full_avg_rows, args=(0.8,), rounds=1, iterations=1)
+    show(rows, "Fig. 8: average SM metadata bytes (w_rate=0.8, full replication)")
+    chart(
+        {
+            "optP": [(r["n"], r["optp_sm_B"]) for r in rows],
+            "CRP": [(r["n"], r["crp_sm_B"]) for r in rows],
+        },
+        title="Fig. 8 (bytes vs n, w_rate=0.8)", x_label="n", y_label="bytes",
+    )
+    assert_full_avg_shapes(rows)
+
+
+if __name__ == "__main__":
+    sys.exit(run_standalone(test_fig8_full_avg_sizes_wrate_8))

@@ -1,0 +1,119 @@
+"""Micro-benchmarks of the hot data structures.
+
+Unlike the exhibit benches (which run whole simulations once), these use
+pytest-benchmark's actual timing loops on the operations the profiler
+identified as hot paths (docs/architecture.md, "Performance notes"):
+per-write piggyback-view construction, log MERGE, activation predicates,
+clock merges, and message sizing.  They guard against performance
+regressions in the code paths that dominate paper-scale runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.activation import full_track_sm_ready, opt_track_entries_ready
+from repro.core.clocks import MatrixClock, VectorClock
+from repro.core.log import OptTrackLog, PiggybackEntry
+from repro.core.messages import OptTrackSM
+from repro.memory.store import WriteId
+from repro.metrics.sizing import DEFAULT_SIZE_MODEL
+
+N = 40  # paper-scale system size
+
+
+def build_log(n_entries=80, n_sites=N, seed=0):
+    rng = np.random.default_rng(seed)
+    log = OptTrackLog()
+    for k in range(n_entries):
+        writer = int(rng.integers(0, n_sites))
+        clock = k + 1
+        dests = set(map(int, rng.choice(n_sites, size=rng.integers(0, 4),
+                                        replace=False)))
+        log.insert(writer, clock, dests)
+    return log
+
+
+def test_micro_piggyback_views(benchmark):
+    """One write's per-destination views over an n=40-scale log."""
+    log = build_log()
+    dests = frozenset(range(0, 12))  # p = 12 at n = 40
+
+    views, base = benchmark(log.piggyback_views, dests)
+    assert len(views) == 12
+    assert isinstance(base, tuple)
+
+
+def test_micro_log_merge(benchmark):
+    """Read-time MERGE of a typical piggybacked log."""
+    incoming = tuple(
+        PiggybackEntry(int(j % N), int(100 + j), frozenset({int(j % 7)}))
+        for j in range(40)
+    )
+    applied = np.zeros(N, dtype=np.int64)
+
+    def merge_into_fresh():
+        log = build_log()
+        log.merge(incoming, self_site=3, applied=applied)
+        return len(log)
+
+    size = benchmark(merge_into_fresh)
+    assert size > 0
+
+
+def test_micro_activation_opt_track(benchmark):
+    """A_OPT over a 40-record piggybacked log (the per-delivery check)."""
+    entries = [
+        PiggybackEntry(j % N, j + 1, frozenset({j % 5, (j + 1) % 5}))
+        for j in range(40)
+    ]
+    applied = np.full(N, 1000, dtype=np.int64)
+
+    ready = benchmark(opt_track_entries_ready, entries, 3, applied)
+    assert ready is True
+
+
+def test_micro_activation_full_track(benchmark):
+    """A_OPT over an n=40 matrix column."""
+    m = MatrixClock(N)
+    m.increment(0, range(N))
+    applied = np.ones(N, dtype=np.int64)
+
+    ready = benchmark(full_track_sm_ready, m, 0, 3, applied)
+    assert ready is True
+
+
+def test_micro_matrix_merge(benchmark):
+    """Entrywise max of two 40x40 matrices (read-time merge)."""
+    rng = np.random.default_rng(0)
+    a = MatrixClock(N, rng.integers(0, 100, (N, N)))
+    b = MatrixClock(N, rng.integers(0, 100, (N, N)))
+
+    benchmark(a.merge, b)
+    assert a.dominates(b)
+
+
+def test_micro_vector_merge(benchmark):
+    rng = np.random.default_rng(0)
+    a = VectorClock(N, rng.integers(0, 100, N))
+    b = VectorClock(N, rng.integers(0, 100, N))
+
+    benchmark(a.merge, b)
+    assert a.dominates(b)
+
+
+def test_micro_message_sizing(benchmark):
+    """Per-send metadata pricing of an 80-record Opt-Track SM."""
+    log = tuple(build_log().entries())
+    sm = OptTrackSM(var=0, value=1, write_id=WriteId(0, 1), log=log)
+
+    size = benchmark(sm.metadata_size, DEFAULT_SIZE_MODEL)
+    assert size > DEFAULT_SIZE_MODEL.envelope_opt_track
+
+
+def test_micro_matrix_snapshot(benchmark):
+    """Per-write matrix snapshot (Full-Track's dominant allocation)."""
+    m = MatrixClock(N)
+    m.increment(0, range(N))
+
+    snap = benchmark(m.copy)
+    assert snap == m

@@ -1,0 +1,67 @@
+"""Table III — average SM space overhead for Opt-Track-CRP (bytes) by
+write rate, against optP's n-determined SM size.
+
+Paper's values: optP = 209 + 10 n exactly; Opt-Track-CRP between ~273
+and ~338 bytes, rising slowly with n and falling as the write rate
+grows.
+"""
+
+import sys
+
+from _common import cell, run_standalone, show
+
+from repro.experiments.configs import FULL_NS, WRITE_RATES
+
+#: Table III of the paper (bytes)
+PAPER_TABLE3 = {
+    5: (287.3, 277.5, 272.9, 259),
+    10: (300.3, 284.3, 278.2, 309),
+    20: (315.5, 294.9, 288.3, 409),
+    30: (327.1, 305.2, 298.4, 509),
+    35: (332.8, 310.1, 303.4, 559),
+    40: (338.4, 315.3, 308.4, 609),
+}
+
+
+def compute_table3_rows():
+    rows = []
+    for n in FULL_NS:
+        row = {"n": n}
+        for wr in WRITE_RATES:
+            row[f"crp_w{wr}"] = cell("opt-track-crp", n, wr).mean_sm
+        row["optp"] = cell("optp", n, WRITE_RATES[0]).mean_sm
+        paper = PAPER_TABLE3[n]
+        row.update({
+            "paper_crp_w0.2": paper[0],
+            "paper_crp_w0.5": paper[1],
+            "paper_crp_w0.8": paper[2],
+            "paper_optp": paper[3],
+        })
+        rows.append(row)
+    return rows
+
+
+def test_table3_avg_sm_sizes(benchmark):
+    rows = benchmark.pedantic(compute_table3_rows, rounds=1, iterations=1)
+    show(rows, "Table III: average SM bytes, Opt-Track-CRP vs optP",
+         columns=["n", "crp_w0.2", "crp_w0.5", "crp_w0.8", "optp"])
+    show(rows, "Table III: paper values",
+         columns=["n", "paper_crp_w0.2", "paper_crp_w0.5", "paper_crp_w0.8",
+                  "paper_optp"])
+
+    for row in rows:
+        # optP is deterministic: must match the paper's 209 + 10n exactly
+        assert row["optp"] == row["paper_optp"]
+        # CRP decreases with write rate (paper's Table III trend)
+        assert row["crp_w0.8"] <= row["crp_w0.5"] <= row["crp_w0.2"]
+        # and lands in the paper's ballpark (within 25%)
+        for wr, col in ((0.2, "crp_w0.2"), (0.5, "crp_w0.5"), (0.8, "crp_w0.8")):
+            paper = row[f"paper_{col}"]
+            assert abs(row[col] - paper) / paper < 0.25, (row["n"], wr)
+    # CRP grows only slowly with n: < 100 bytes across the whole sweep
+    spread = rows[-1]["crp_w0.2"] - rows[0]["crp_w0.2"]
+    assert 0 <= spread < 100
+
+
+if __name__ == "__main__":
+    sys.exit(run_standalone(test_table3_avg_sm_sizes))

@@ -1,0 +1,64 @@
+"""Table IV — total message count for partial replication (Opt-Track)
+vs full replication (Opt-Track-CRP), same schedules.
+
+Paper's finding: partial replication sends fewer messages everywhere
+except n=5 at w_rate=0.2 — exactly the prediction of eq. (2),
+w_rate > 2/(n+1).  Counts scale with the number of measured operations,
+so absolute values match the paper only at REPRO_BENCH_OPS=600; the
+win/lose pattern holds at any scale.
+"""
+
+import sys
+
+from _common import OPS, paired_counts, run_standalone, show
+
+from repro.analysis.tradeoff import crossover_write_rate
+from repro.experiments.configs import PARTIAL_NS, WRITE_RATES
+
+#: Table IV of the paper (total message counts at 600 ops/process)
+PAPER_TABLE4 = {
+    5: {"full": (2036, 4960, 8004), "partial": (3208, 3463, 3764)},
+    10: {"full": (8910, 22266, 35892), "partial": (8297, 10234, 12156)},
+    20: {"full": (38057, 95114, 151905), "partial": (22808, 35668, 48128)},
+    30: {"full": (86826, 217181, 347304), "partial": (42600, 75679, 108810)},
+    40: {"full": (156156, 390039, 624390), "partial": (69405, 130572, 192883)},
+}
+
+
+def compute_table4_rows():
+    rows = []
+    for n in PARTIAL_NS:
+        row = {"n": n}
+        for k, wr in enumerate(WRITE_RATES):
+            full, partial, _, _ = paired_counts(n, wr)
+            row[f"full_w{wr}"] = full
+            row[f"partial_w{wr}"] = partial
+            row[f"paper_full_w{wr}"] = PAPER_TABLE4[n]["full"][k]
+            row[f"paper_partial_w{wr}"] = PAPER_TABLE4[n]["partial"][k]
+        rows.append(row)
+    return rows
+
+
+def test_table4_message_counts(benchmark):
+    rows = benchmark.pedantic(compute_table4_rows, rounds=1, iterations=1)
+    cols = ["n"] + [f"{kind}_w{wr}" for wr in WRITE_RATES
+                    for kind in ("full", "partial")]
+    show(rows, f"Table IV: total message counts ({OPS} ops/process)", columns=cols)
+    show(rows, "Table IV: paper values (600 ops/process)",
+         columns=["n"] + [f"paper_{kind}_w{wr}" for wr in WRITE_RATES
+                          for kind in ("full", "partial")])
+
+    for row in rows:
+        n = row["n"]
+        for wr in WRITE_RATES:
+            partial_wins = row[f"partial_w{wr}"] < row[f"full_w{wr}"]
+            predicted = wr > crossover_write_rate(n)
+            assert partial_wins == predicted, (n, wr)
+    # paper's single exception: n=5, w_rate=0.2
+    n5 = rows[0]
+    assert n5["partial_w0.2"] > n5["full_w0.2"]
+    assert n5["partial_w0.5"] < n5["full_w0.5"]
+
+
+if __name__ == "__main__":
+    sys.exit(run_standalone(test_table4_message_counts))

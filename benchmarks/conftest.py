@@ -1,0 +1,19 @@
+"""Pytest wiring for the benchmark suite.
+
+Ensures the benchmarks directory is importable (for ``_common``) and
+prints the active scale once per session.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_report_header(config):
+    ops = os.environ.get("REPRO_BENCH_OPS", "120 (default)")
+    seeds = os.environ.get("REPRO_BENCH_SEEDS", "1 (default)")
+    return (
+        f"repro benchmarks: ops/process={ops}, seeds={seeds} "
+        "(paper scale: REPRO_BENCH_OPS=600)"
+    )

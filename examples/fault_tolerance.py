@@ -1,0 +1,97 @@
+"""Fault-tolerance walkthrough: a stalled datacenter catches up safely.
+
+Causal consistency's operational promise is that *slow* is never
+*wrong*: a site that stops receiving for a while (GC pause, overloaded
+NIC, transient partition toward it) simply lags, and on recovery it
+applies the backlog in causal order — no rollback, no reconciliation,
+no anomaly visible to any client.
+
+This example walks through that story on a five-site Opt-Track cluster:
+
+1. site 4 stalls;
+2. the rest of the cluster keeps writing, building causal chains the
+   stalled site has never heard of;
+3. clients of healthy sites see everything immediately; clients of the
+   stalled site see a consistent-but-old world;
+4. the site recovers, the held backlog flushes, the activation
+   predicates order it, and the checker certifies the whole history.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import CausalCluster, UniformLatency
+from repro.memory.store import BOTTOM
+from repro.verify.convergence import check_convergence
+
+STALLED = 4
+
+
+def main() -> None:
+    cluster = CausalCluster(
+        n_sites=5,
+        protocol="opt-track",
+        n_vars=10,
+        replication_factor=3,
+        latency=UniformLatency(5.0, 40.0),
+        seed=11,
+    )
+
+    print("1. site 4 stalls (receives nothing from now on)")
+    cluster.pause_site(STALLED)
+
+    print("2. the rest of the cluster keeps working: a causal chain of "
+          "writes builds up")
+    chain_vars = []
+    writer = 0
+    for step in range(6):
+        var = (step * 2) % 10
+        chain_vars.append(var)
+        cluster.write(writer, var, f"step-{step}")
+        cluster.advance(60.0)
+        # the next writer reads the previous step first: a genuine
+        # causal chain, not just concurrent chatter
+        writer = (writer + 1) % 4          # sites 0-3 only
+        reader_sees = cluster.read(writer, var) if (
+            cluster.placement.is_replicated_at(var, writer)) else None
+        if reader_sees is not None:
+            assert reader_sees == f"step-{step}"
+
+    held = cluster.network.held_count(STALLED)
+    print(f"   ... {held} updates are now held for the stalled site")
+
+    print("3. a client of the stalled site sees an old but CONSISTENT world")
+    stale_view = {
+        var: cluster.protocols[STALLED].ctx.store.read(var).value
+        for var in cluster.placement.vars_at(STALLED)
+    }
+    missing = sum(1 for v in stale_view.values() if v is BOTTOM)
+    print(f"   {missing}/{len(stale_view)} of its replicas still at the "
+          "initial value — lagging, never inconsistent")
+
+    print("4. site 4 recovers: the backlog flushes in causal order")
+    cluster.resume_site(STALLED)
+    cluster.settle()
+    final_step = {var: step for step, var in enumerate(chain_vars)}
+    for var, step in final_step.items():
+        if cluster.placement.is_replicated_at(var, STALLED):
+            value = cluster.protocols[STALLED].ctx.store.read(var).value
+            assert value == f"step-{step}", (var, value, step)
+
+    report = cluster.check()
+    report.raise_if_violated()
+    conv = check_convergence(cluster.protocols, cluster.history)
+    assert conv.ok and conv.divergent == []
+    print(f"   causal checker: OK over {report.n_operations} operations, "
+          f"{report.n_applies} applies")
+    print("   convergence: all replicas agree on every variable")
+
+    m = cluster.collector
+    if m.activation_delays.count:
+        print(f"\nactivation buffering during recovery: "
+              f"{m.activation_delays.count} updates waited "
+              f"(max {m.activation_delays.maximum:.0f} ms)")
+    print("\nslow was never wrong: no rollback, no divergence, no anomaly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Head-to-head comparison of all four protocols.
+
+Runs the paper's benchmark workload at one (n, w_rate) point through
+Full-Track, Opt-Track, Opt-Track-CRP, and optP, prints the headline
+metrics of Section V side by side, and draws a miniature of Figs. 2/6
+(per-message metadata vs n) as an ASCII chart.
+
+Run:  python examples/protocol_comparison.py [n] [write_rate]
+"""
+
+import sys
+
+from repro import SimulationConfig, run_simulation
+from repro.experiments.report import ascii_chart, format_table
+from repro.metrics.collector import MessageKind
+
+
+def run_point(protocol: str, n: int, write_rate: float, ops: int = 200):
+    cfg = SimulationConfig(protocol=protocol, n_sites=n, write_rate=write_rate,
+                           ops_per_process=ops, seed=1)
+    return run_simulation(cfg)
+
+
+def main(n: int = 20, write_rate: float = 0.5) -> None:
+    print(f"n={n} sites, write rate {write_rate}, q=100 variables, "
+          f"paper workload (uniform gaps 5-2005 ms)\n")
+
+    rows = []
+    for protocol in ("full-track", "opt-track", "opt-track-crp", "optp"):
+        result = run_point(protocol, n, write_rate)
+        col = result.collector
+        rows.append({
+            "protocol": protocol,
+            "replication": f"p={result.placement.replication_factor}",
+            "messages": col.total_message_count,
+            "SM_bytes_avg": col.mean_size(MessageKind.SM),
+            "RM_bytes_avg": col.mean_size(MessageKind.RM),
+            "metadata_KB": col.total_metadata_bytes / 1000,
+            "mean_log": round(col.log_sizes.mean, 1) if col.log_sizes.count else "-",
+        })
+    print(format_table(rows, title="protocol comparison (same parameters)"))
+
+    # miniature of the scalability figures: per-SM metadata vs n
+    ns = (5, 10, 20, 30)
+    series = {}
+    for protocol in ("full-track", "opt-track", "optp", "opt-track-crp"):
+        pts = []
+        for n_i in ns:
+            col = run_point(protocol, n_i, write_rate, ops=80).collector
+            pts.append((n_i, col.mean_size(MessageKind.SM)))
+        series[protocol] = pts
+    print()
+    print(ascii_chart(series, title="average SM metadata bytes vs n "
+                                    f"(w_rate={write_rate})",
+                      x_label="n", y_label="bytes", width=64, height=18))
+    print("\nreadings: full-track grows ~n^2 (matrix clocks); optp grows ~n "
+          "(vector clocks);\nopt-track grows slowly (pruned logs); "
+          "opt-track-crp is nearly flat (O(d) 2-tuple logs).")
+
+
+if __name__ == "__main__":
+    n_arg = int(sys.argv[1]) if len(sys.argv) > 1 else 20
+    wr_arg = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    main(n_arg, wr_arg)

@@ -1,0 +1,58 @@
+"""Quickstart: a causally consistent replicated memory in ten lines.
+
+Builds a five-site, partially replicated cluster running Opt-Track,
+performs a small causal chain of writes and reads, verifies the
+execution against the causal memory model, and prints the message-cost
+summary.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CausalCluster, UniformLatency
+
+
+def main() -> None:
+    cluster = CausalCluster(
+        n_sites=5,
+        protocol="opt-track",        # partial replication, KS-optimal logs
+        n_vars=16,
+        replication_factor=2,        # each variable lives at 2 of 5 sites
+        latency=UniformLatency(10.0, 100.0),
+        seed=42,
+    )
+    print(cluster)
+    print(f"variable 3 is replicated at sites {cluster.placement.replicas(3)}")
+
+    # Site 0 publishes a value ...
+    cluster.write(0, var=3, value="hello")
+    cluster.settle()  # deliver everything in flight
+
+    # ... any site can read it (remotely if it holds no replica) ...
+    for site in range(5):
+        value = cluster.read(site, 3)
+        local = cluster.placement.is_replicated_at(3, site)
+        print(f"site {site} reads var3 = {value!r} "
+              f"({'local replica' if local else 'remote fetch'})")
+
+    # ... and causally dependent updates stay ordered: site 4 saw
+    # "hello", so anything it writes afterwards is ordered after it
+    # everywhere.
+    cluster.write(4, var=7, value="world")
+    cluster.settle()
+    assert cluster.read(1, 7) == "world"
+    assert cluster.read(1, 3) == "hello"   # the dependency is visible too
+
+    report = cluster.check()
+    report.raise_if_violated()
+    print(f"\ncausal consistency verified over {report.n_operations} operations")
+
+    m = cluster.collector
+    print(f"messages sent: {m.lifetime_message_count} "
+          f"({m.as_dict()['SM_count']} updates, "
+          f"{m.as_dict()['FM_count']} fetches, "
+          f"{m.as_dict()['RM_count']} returns)")
+    print(f"metadata transferred: {m.total_metadata_bytes / 1000:.2f} KB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""The partial-vs-full replication trade-off (Section V-C).
+
+The paper's analytic contribution: comparing the message-count formulas
+of Opt-Track (partial) and Opt-Track-CRP (full) yields the necessary
+condition under which partial replication sends fewer messages,
+
+    ((p-1) + (n-p)/n) w + 2 r (n-p)/n  <  (n-1) w
+        <=>   w > 2 r / (n - 1)                       (eq. 1)
+        <=>   w_rate > 2 / (n + 1)                    (eq. 2)
+
+— remarkably independent of the replication factor p (the p-dependence
+cancels:  both sides lose (n-p)(1 - 1/n) w when rearranged).  These
+helpers evaluate the exact inequality, the closed-form threshold, and
+the ratio curve the crossover bench sweeps.
+"""
+
+from __future__ import annotations
+
+from .model import (
+    full_replication_message_count,
+    partial_replication_message_count,
+)
+
+__all__ = [
+    "crossover_write_rate",
+    "partial_beats_full",
+    "message_count_ratio",
+    "min_sites_for_write_rate",
+]
+
+
+def crossover_write_rate(n: int) -> float:
+    """Eq. (2): the write rate above which partial replication wins."""
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    return 2.0 / (1 + n)
+
+
+def partial_beats_full(n: int, p: int, w: float, r: float) -> bool:
+    """Exact eq. (1): does partial replication send strictly fewer messages?"""
+    return partial_replication_message_count(n, p, w, r) < (
+        full_replication_message_count(n, w)
+    )
+
+
+def message_count_ratio(n: int, p: int, write_rate: float, total_ops: float = 1.0) -> float:
+    """Partial / full message-count ratio at a given write rate.
+
+    < 1 means partial replication wins.  Undefined (inf) for a pure-read
+    workload, where full replication sends nothing at all.
+    """
+    if not 0.0 <= write_rate <= 1.0:
+        raise ValueError("write rate must be in [0, 1]")
+    w = write_rate * total_ops
+    r = (1.0 - write_rate) * total_ops
+    full = full_replication_message_count(n, w)
+    partial = partial_replication_message_count(n, p, w, r)
+    if full == 0:
+        return float("inf") if partial > 0 else 1.0
+    return partial / full
+
+
+def min_sites_for_write_rate(write_rate: float) -> int:
+    """Smallest n at which a given write rate favours partial replication.
+
+    Inverse of eq. (2): n > 2 / w_rate - 1.
+    """
+    if not 0.0 < write_rate <= 1.0:
+        raise ValueError("write rate must be in (0, 1]")
+    n = int(2.0 / write_rate - 1.0) + 1
+    # handle exact-threshold cases: the inequality is strict
+    while crossover_write_rate(n) >= write_rate:
+        n += 1
+    return max(n, 1)

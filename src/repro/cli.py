@@ -1,0 +1,378 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands:
+
+* ``run``        — one simulation, printing the metric summary;
+* ``experiment`` — regenerate a paper table/figure (fig1..fig8, table2,
+  table3, table4, eq2) at a chosen scale;
+* ``analytic``   — print the closed-form cost models for given params;
+* ``crossover``  — the eq. (2) partial-vs-full threshold table;
+* ``reproduce``  — regenerate every exhibit into CSVs + a Markdown report;
+* ``advise``     — replication recommendation for a workload profile;
+* ``check``      — run a simulation with history recording and verify
+  causal consistency;
+* ``list``       — protocols and experiments available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.model import (
+    full_replication_message_count,
+    full_track_total_size,
+    opt_track_crp_total_size,
+    opt_track_total_size,
+    optp_total_size,
+    partial_replication_message_count,
+)
+from .analysis.tradeoff import crossover_write_rate
+from .core.base import protocol_names
+from .experiments import paper
+from .experiments.configs import EXPERIMENTS
+from .experiments.report import format_kv, format_table, write_csv
+from .experiments.runner import SimulationConfig, run_simulation
+from .sim.network import (
+    AdversarialLatency,
+    ConstantLatency,
+    LogNormalLatency,
+    UniformLatency,
+)
+from .verify.causal_checker import check_causal_consistency
+
+__all__ = ["main", "build_parser"]
+
+_LATENCIES = {
+    "uniform": UniformLatency,
+    "constant": ConstantLatency,
+    "lognormal": LogNormalLatency,
+    "adversarial": AdversarialLatency,
+}
+
+_EXPERIMENT_FNS = {
+    "fig1": lambda **kw: paper.fig1_rows(**kw),
+    "fig2": lambda **kw: paper.partial_avg_size_rows(0.2, **kw),
+    "fig3": lambda **kw: paper.partial_avg_size_rows(0.5, **kw),
+    "fig4": lambda **kw: paper.partial_avg_size_rows(0.8, **kw),
+    "table2": lambda **kw: paper.table2_rows(**kw),
+    "fig5": lambda **kw: paper.fig5_rows(**kw),
+    "fig6": lambda **kw: paper.full_avg_size_rows(0.2, **kw),
+    "fig7": lambda **kw: paper.full_avg_size_rows(0.5, **kw),
+    "fig8": lambda **kw: paper.full_avg_size_rows(0.8, **kw),
+    "table3": lambda **kw: paper.table3_rows(**kw),
+    "table4": lambda **kw: paper.table4_rows(**kw),
+    "eq2": lambda **kw: paper.eq2_rows(**kw),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Causal consistency protocols for partially replicated "
+                    "DSM (Hsu & Kshemkalyani 2016 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one simulation")
+    run_p.add_argument("--protocol", default="opt-track", choices=protocol_names())
+    run_p.add_argument("-n", "--sites", type=int, default=10)
+    run_p.add_argument("-q", "--vars", type=int, default=100)
+    run_p.add_argument("-p", "--replicas", type=int, default=None,
+                       help="replication factor (default: protocol natural)")
+    run_p.add_argument("-w", "--write-rate", type=float, default=0.5)
+    run_p.add_argument("--ops", type=int, default=600,
+                       help="operations per process (paper: 600)")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--latency", default="uniform", choices=sorted(_LATENCIES))
+    run_p.add_argument("--check", action="store_true",
+                       help="record history and verify causal consistency")
+
+    exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp_p.add_argument("id", choices=sorted(_EXPERIMENT_FNS))
+    exp_p.add_argument("--ops", type=int, default=150,
+                       help="operations per process (paper scale: 600)")
+    exp_p.add_argument("--seeds", type=int, default=1,
+                       help="independent runs averaged per cell")
+    exp_p.add_argument("--csv", metavar="PATH", default=None,
+                       help="also write the rows to a CSV file")
+
+    rep_p = sub.add_parser("reproduce",
+                           help="regenerate all exhibits into an output dir")
+    rep_p.add_argument("--outdir", default="results", metavar="DIR")
+    rep_p.add_argument("--ops", type=int, default=600,
+                       help="operations per process (paper scale: 600)")
+    rep_p.add_argument("--seeds", type=int, default=1)
+    rep_p.add_argument("--only", nargs="*", default=None, metavar="EXHIBIT",
+                       help="restrict to specific exhibits (e.g. fig1 table4)")
+
+    adv_p = sub.add_parser("advise", help="replication recommendation")
+    adv_p.add_argument("-n", "--sites", type=int, required=True)
+    adv_p.add_argument("-w", "--write-rate", type=float, required=True)
+    adv_p.add_argument("--payload", type=float, default=0.0,
+                       help="mean payload bytes per update")
+    adv_p.add_argument("-p", "--replicas", type=int, default=None)
+
+    ana_p = sub.add_parser("analytic", help="closed-form cost models")
+    ana_p.add_argument("-n", "--sites", type=int, default=10)
+    ana_p.add_argument("-p", "--replicas", type=int, default=None)
+    ana_p.add_argument("-w", "--write-rate", type=float, default=0.5)
+    ana_p.add_argument("--ops", type=int, default=600)
+
+    cross_p = sub.add_parser("crossover", help="eq. (2) thresholds")
+    cross_p.add_argument("--max-n", type=int, default=40)
+
+    trace_p = sub.add_parser("trace",
+                             help="run a simulation and save workload + history")
+    trace_p.add_argument("outdir", metavar="DIR")
+    trace_p.add_argument("--protocol", default="opt-track", choices=protocol_names())
+    trace_p.add_argument("-n", "--sites", type=int, default=6)
+    trace_p.add_argument("-w", "--write-rate", type=float, default=0.5)
+    trace_p.add_argument("--ops", type=int, default=100)
+    trace_p.add_argument("--seed", type=int, default=0)
+
+    verify_p = sub.add_parser("verify-trace",
+                              help="re-check a saved history offline")
+    verify_p.add_argument("outdir", metavar="DIR",
+                          help="directory written by `repro trace`")
+
+    check_p = sub.add_parser("check", help="simulate + verify causal consistency")
+    check_p.add_argument("--protocol", default="opt-track", choices=protocol_names())
+    check_p.add_argument("-n", "--sites", type=int, default=8)
+    check_p.add_argument("-w", "--write-rate", type=float, default=0.5)
+    check_p.add_argument("--ops", type=int, default=100)
+    check_p.add_argument("--seed", type=int, default=0)
+    check_p.add_argument("--latency", default="adversarial", choices=sorted(_LATENCIES))
+
+    sub.add_parser("list", help="list protocols and experiments")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = SimulationConfig(
+        protocol=args.protocol,
+        n_sites=args.sites,
+        n_vars=args.vars,
+        replication_factor=args.replicas,
+        write_rate=args.write_rate,
+        ops_per_process=args.ops,
+        seed=args.seed,
+        latency=_LATENCIES[args.latency](),
+        record_history=args.check,
+    )
+    result = run_simulation(cfg)
+    print(format_kv(result.summary()))
+    if args.check:
+        report = check_causal_consistency(result.history, result.placement)
+        print(f"\ncausal consistency: {'OK' if report.ok else 'VIOLATED'} "
+              f"({report.n_operations} operations, {report.n_applies} applies)")
+        if not report.ok:
+            for v in report.violations[:20]:
+                print(f"  {v}")
+            return 1
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    fn = _EXPERIMENT_FNS[args.id]
+    rows = fn(ops_per_process=args.ops, seeds=tuple(range(args.seeds)))
+    spec = EXPERIMENTS.get(args.id)
+    title = f"{args.id}: {spec.title}" if spec else args.id
+    print(format_table(rows, title=title))
+    if args.csv:
+        write_csv(rows, args.csv)
+        print(f"\nwrote {len(rows)} rows to {args.csv}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .experiments.figures import reproduce_all
+
+    report = reproduce_all(
+        args.outdir,
+        ops_per_process=args.ops,
+        seeds=tuple(range(args.seeds)),
+        exhibits=args.only,
+        progress=lambda line: print(line, flush=True),
+    )
+    print(f"\nreport written to {report}")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from .analysis.advisor import WorkloadProfile, recommend_replication
+
+    rec = recommend_replication(WorkloadProfile(
+        n_sites=args.sites,
+        write_rate=args.write_rate,
+        payload_bytes=args.payload,
+        replication_factor=args.replicas,
+    ))
+    print(f"recommendation: {rec.replication} replication, "
+          f"protocol {rec.protocol}")
+    print(f"  messages   : partial {rec.partial_messages:.0f} vs "
+          f"full {rec.full_messages:.0f} (ratio {rec.message_ratio:.2f})")
+    print(f"  transfer   : partial {rec.partial_transfer_bytes/1e6:.2f} MB vs "
+          f"full {rec.full_transfer_bytes/1e6:.2f} MB")
+    print(f"  storage    : {rec.storage_copies_partial} vs "
+          f"{rec.storage_copies_full} copies per object")
+    print(f"  remote read: {rec.remote_read_fraction:.0%} of reads "
+          "(partial replication)")
+    print("rationale:")
+    for line in rec.rationale:
+        print(f"  - {line}")
+    return 0
+
+
+def _cmd_analytic(args: argparse.Namespace) -> int:
+    n = args.sites
+    p = args.replicas
+    if p is None:
+        from .memory.replication import paper_replication_factor
+
+        p = paper_replication_factor(n)
+    w = args.write_rate * args.ops
+    r = (1 - args.write_rate) * args.ops
+    print(f"n={n} p={p} writes={w:.0f} reads={r:.0f}")
+    print(f"partial message count : {partial_replication_message_count(n, p, w, r):.1f}")
+    print(f"full message count    : {full_replication_message_count(n, w):.1f}")
+    for name, cb in [
+        ("full-track", full_track_total_size(n, p, w, r)),
+        ("opt-track", opt_track_total_size(n, p, w, r)),
+        ("opt-track-crp", opt_track_crp_total_size(n, w)),
+        ("optp", optp_total_size(n, w)),
+    ]:
+        print(f"{name:14s}: {cb.total_count:10.1f} msgs  {cb.total_bytes/1000:12.1f} KB")
+    return 0
+
+
+def _cmd_crossover(args: argparse.Namespace) -> int:
+    rows = [
+        {"n": n, "threshold_write_rate": crossover_write_rate(n)}
+        for n in range(2, args.max_n + 1)
+        if n in (2, 3, 4, 5, 8, 10, 15, 20, 30, args.max_n)
+    ]
+    print(format_table(rows, title="eq. (2): partial wins iff w_rate > 2/(n+1)"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .workload.traces import save_history, save_workload
+
+    cfg = SimulationConfig(
+        protocol=args.protocol, n_sites=args.sites, n_vars=20,
+        write_rate=args.write_rate, ops_per_process=args.ops,
+        seed=args.seed, record_history=True,
+    )
+    result = run_simulation(cfg)
+    out = Path(args.outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    save_workload(result.workload, out / "workload.json")
+    save_history(result.history, out / "history.jsonl")
+    (out / "config.json").write_text(json.dumps({
+        "protocol": cfg.protocol,
+        "n_sites": cfg.n_sites,
+        "n_vars": cfg.n_vars,
+        "replication_factor": result.placement.replication_factor,
+        "placement": cfg.placement,
+        "write_rate": cfg.write_rate,
+        "ops_per_process": cfg.ops_per_process,
+        "seed": cfg.seed,
+    }))
+    print(f"saved workload, history ({len(result.history)} events), and "
+          f"config to {out}")
+    if args.protocol in ("opt-track", "opt-track-noprune"):
+        from .analysis.logstats import format_log_report, snapshot_logs
+
+        print()
+        print(format_log_report(snapshot_logs(result.protocols)))
+    return 0
+
+
+def _cmd_verify_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .experiments.runner import build_placement
+    from .workload.traces import load_history
+
+    out = Path(args.outdir)
+    config = json.loads((out / "config.json").read_text())
+    history = load_history(out / "history.jsonl")
+    placement = build_placement(SimulationConfig(
+        protocol=config["protocol"], n_sites=config["n_sites"],
+        n_vars=config["n_vars"],
+        replication_factor=config["replication_factor"],
+        placement=config.get("placement", "round-robin"),
+        seed=config.get("seed", 0),
+    ))
+    report = check_causal_consistency(history, placement)
+    status = "OK" if report.ok else "VIOLATED"
+    print(f"{config['protocol']} trace: causal consistency {status} "
+          f"({report.n_writes} writes, {report.n_reads} reads, "
+          f"{report.n_applies} applies)")
+    for v in report.violations[:20]:
+        print(f"  {v}")
+    return 0 if report.ok else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    cfg = SimulationConfig(
+        protocol=args.protocol,
+        n_sites=args.sites,
+        n_vars=20,
+        write_rate=args.write_rate,
+        ops_per_process=args.ops,
+        seed=args.seed,
+        latency=_LATENCIES[args.latency](),
+        record_history=True,
+    )
+    result = run_simulation(cfg)
+    report = check_causal_consistency(result.history, result.placement)
+    status = "OK" if report.ok else "VIOLATED"
+    print(f"{args.protocol}: causal consistency {status} "
+          f"({report.n_writes} writes, {report.n_reads} reads, "
+          f"{report.n_applies} applies)")
+    for v in report.violations[:20]:
+        print(f"  {v}")
+    return 0 if report.ok else 1
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("protocols:")
+    for name in protocol_names():
+        print(f"  {name}")
+    print("\nexperiments:")
+    for key in sorted(_EXPERIMENT_FNS):
+        spec = EXPERIMENTS.get(key)
+        print(f"  {key:8s} {spec.title if spec else ''}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+        "reproduce": _cmd_reproduce,
+        "advise": _cmd_advise,
+        "trace": _cmd_trace,
+        "verify-trace": _cmd_verify_trace,
+        "analytic": _cmd_analytic,
+        "crossover": _cmd_crossover,
+        "check": _cmd_check,
+        "list": _cmd_list,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); exit quietly
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,199 @@
+"""Interactive facade: drive a replicated cluster operation by operation.
+
+:func:`repro.experiments.runner.run_simulation` executes pre-planned
+workloads; :class:`CausalCluster` instead exposes the protocols as a
+library a downstream application would call directly::
+
+    from repro import CausalCluster
+
+    cluster = CausalCluster(n_sites=5, protocol="opt-track", n_vars=8)
+    cluster.write(0, var=3, value=42)
+    cluster.settle()                  # deliver everything in flight
+    assert cluster.read(4, var=3) == 42
+    cluster.check().raise_if_violated()
+
+Operations execute at the cluster's current simulated time; ``advance``
+moves time forward (delivering messages along the way), ``settle`` runs
+to quiescence.  ``read`` drives the simulator just far enough for the
+read to complete when it must fetch remotely, so it can simply return
+the value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .core.base import CausalProtocol, ProtocolContext, create_protocol, get_protocol_class
+from .experiments.runner import build_placement  # reuse placement resolution
+from .experiments.runner import SimulationConfig
+from .memory.store import SiteStore, WriteId
+from .metrics.collector import MetricsCollector
+from .metrics.sizing import DEFAULT_SIZE_MODEL, SizeModel
+from .sim.engine import Simulator
+from .sim.network import LatencyModel, Network, UniformLatency
+from .verify.causal_checker import CheckReport, check_causal_consistency
+from .verify.history import HistoryRecorder
+
+__all__ = ["CausalCluster"]
+
+
+class CausalCluster:
+    """A causally consistent replicated key-value memory, driven manually."""
+
+    def __init__(
+        self,
+        n_sites: int,
+        *,
+        protocol: str = "opt-track",
+        n_vars: int = 16,
+        replication_factor: Optional[int] = None,
+        latency: Optional[LatencyModel] = None,
+        bandwidth_bytes_per_ms: Optional[float] = None,
+        size_model: SizeModel = DEFAULT_SIZE_MODEL,
+        placement: str = "round-robin",
+        seed: int = 0,
+        record_history: bool = True,
+    ) -> None:
+        # Reuse SimulationConfig purely for validation + placement logic.
+        config = SimulationConfig(
+            protocol=protocol,
+            n_sites=n_sites,
+            n_vars=n_vars,
+            replication_factor=replication_factor,
+            placement=placement,
+            seed=seed,
+            latency=latency if latency is not None else UniformLatency(),
+            bandwidth_bytes_per_ms=bandwidth_bytes_per_ms,
+            size_model=size_model,
+        )
+        self.config = config
+        self.placement = build_placement(config)
+        self.sim = Simulator()
+        self.network = Network(
+            self.sim, n_sites, config.latency,
+            rng=np.random.default_rng(np.random.SeedSequence(seed).spawn(1)[0]),
+            bandwidth_bytes_per_ms=bandwidth_bytes_per_ms,
+        )
+        self.collector = MetricsCollector()
+        self.collector.start_measuring()  # no warm-up in interactive mode
+        self.history = HistoryRecorder(enabled=record_history)
+        self.protocols: list[CausalProtocol] = []
+        for i in range(n_sites):
+            ctx = ProtocolContext(
+                site=i,
+                n_sites=n_sites,
+                placement=self.placement,
+                store=SiteStore(i, self.placement.vars_at(i)),
+                network=self.network,
+                sim=self.sim,
+                collector=self.collector,
+                size_model=size_model,
+                history=self.history,
+            )
+            proto = create_protocol(protocol, ctx)
+            self.network.register(i, proto.on_message)
+            self.protocols.append(proto)
+        self._op_counter = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_sites(self) -> int:
+        return self.config.n_sites
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self.sim.now
+
+    def _check_site(self, site: int) -> None:
+        if not 0 <= site < self.n_sites:
+            raise ValueError(f"site {site} out of range [0, {self.n_sites})")
+
+    # ------------------------------------------------------------------
+    def write(self, site: int, var: int, value: object) -> WriteId:
+        """Issue w(x_var)value at ``site`` at the current simulated time."""
+        self._check_site(site)
+        self._op_counter += 1
+        return self.protocols[site].write(var, value, op_index=self._op_counter)
+
+    def read(self, site: int, var: int) -> object:
+        """Issue r(x_var) at ``site``; returns the value (driving the
+        simulator forward if a remote fetch is needed)."""
+        value, _ = self.read_with_id(site, var)
+        return value
+
+    def read_with_id(self, site: int, var: int) -> tuple[object, Optional[WriteId]]:
+        """Like :meth:`read` but also returns the write id of the value."""
+        self._check_site(site)
+        self._op_counter += 1
+        done: list[tuple[object, Optional[WriteId]]] = []
+
+        def on_complete(value: object, wid: Optional[WriteId], was_remote: bool) -> None:
+            done.append((value, wid))
+
+        self.protocols[site].read(var, on_complete, op_index=self._op_counter)
+        while not done:
+            if not self.sim.step():
+                raise RuntimeError(
+                    f"read of var {var} at site {site} can never complete "
+                    "(no events left — protocol deadlock?)"
+                )
+        return done[0]
+
+    # ------------------------------------------------------------------
+    def advance(self, delta_ms: float) -> None:
+        """Run the simulation ``delta_ms`` ms forward."""
+        if delta_ms < 0:
+            raise ValueError("cannot advance by a negative duration")
+        self.sim.run(until=self.sim.now + delta_ms)
+
+    def settle(self) -> None:
+        """Run until every in-flight message is delivered and applied."""
+        self.sim.run()
+        held = {
+            s: self.network.held_count(s)
+            for s in range(self.n_sites)
+            if self.network.held_count(s)
+        }
+        if held:
+            raise RuntimeError(
+                f"cluster cannot settle while sites are paused "
+                f"(held messages: {held}); resume them first"
+            )
+        undrained = {p.site: p.pending_count for p in self.protocols if p.pending_count}
+        if undrained:
+            raise RuntimeError(f"cluster cannot settle; buffers stuck: {undrained}")
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def pause_site(self, site: int) -> None:
+        """Hold all deliveries to ``site`` (model a stalled process)."""
+        self._check_site(site)
+        self.network.pause_site(site)
+
+    def resume_site(self, site: int) -> None:
+        """Flush held deliveries to ``site`` and resume normal flow."""
+        self._check_site(site)
+        self.network.resume_site(site)
+
+    def pending_messages(self) -> int:
+        """Updates currently buffered by activation predicates, cluster-wide."""
+        return sum(p.pending_count for p in self.protocols)
+
+    # ------------------------------------------------------------------
+    def check(self) -> CheckReport:
+        """Run the causal-consistency checker over everything so far."""
+        if not self.history.enabled:
+            raise RuntimeError("cluster was built with record_history=False")
+        return check_causal_consistency(self.history, self.placement)
+
+    def __repr__(self) -> str:
+        cls = get_protocol_class(self.config.protocol).__name__
+        return (
+            f"CausalCluster(n={self.n_sites}, protocol={cls}, "
+            f"q={self.config.n_vars}, p={self.placement.replication_factor}, "
+            f"t={self.now:.1f}ms)"
+        )

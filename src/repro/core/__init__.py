@@ -1,0 +1,41 @@
+"""Protocol implementations: the paper's contribution.
+
+Importing this package registers all four protocols with the by-name
+registry in :mod:`repro.core.base`.
+"""
+
+from .base import (
+    CausalProtocol,
+    ProtocolContext,
+    create_protocol,
+    get_protocol_class,
+    protocol_names,
+    register_protocol,
+)
+from .clocks import MatrixClock, VectorClock
+from .full_track import FullTrackProtocol
+from .hb_track import HBTrackProtocol
+from .log import OptTrackLog, PiggybackEntry, TupleLog
+from .opt_track import OptTrackNoPruneProtocol, OptTrackProtocol
+from .opt_track_crp import OptTrackCRPProtocol
+from .optp import OptPProtocol
+
+__all__ = [
+    "CausalProtocol",
+    "ProtocolContext",
+    "create_protocol",
+    "get_protocol_class",
+    "protocol_names",
+    "register_protocol",
+    "MatrixClock",
+    "VectorClock",
+    "OptTrackLog",
+    "TupleLog",
+    "PiggybackEntry",
+    "FullTrackProtocol",
+    "HBTrackProtocol",
+    "OptTrackNoPruneProtocol",
+    "OptTrackProtocol",
+    "OptTrackCRPProtocol",
+    "OptPProtocol",
+]

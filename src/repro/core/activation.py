@@ -1,0 +1,134 @@
+"""Activation predicates — the heart of causal memory (Section II-B).
+
+When an update message arrives, a site may not apply it immediately: the
+*activation predicate* A(m, e) stays false until every causally
+preceding update destined to this site has been applied.  All four
+protocols use the optimal predicate A_OPT of Baldoni et al., evaluated
+over whatever metadata the protocol piggybacks:
+
+* Full-Track — the n x n Write matrix column for this site;
+* Opt-Track — the piggybacked KS-log records naming this site;
+* Opt-Track-CRP — (writer, clock) 2-tuples plus per-writer FIFO counts;
+* optP — the size-n Write vector.
+
+The same predicates gate the completion of remote reads (RM messages)
+under partial replication: a fetched value may causally depend on writes
+destined to the reader that have not yet been applied there, and
+returning it early would let the reader observe a causal future it has
+not reached — see DESIGN.md, "gating remote-read returns".
+
+These are pure functions of (metadata, local Apply state) so they can be
+unit-tested exhaustively and shared between the SM and RM paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .clocks import MatrixClock, VectorClock
+from .log import PiggybackEntry
+
+__all__ = [
+    "full_track_sm_ready",
+    "full_track_rm_ready",
+    "opt_track_entries_ready",
+    "crp_sm_ready",
+    "optp_sm_ready",
+]
+
+
+def full_track_sm_ready(
+    matrix: MatrixClock,
+    sender: int,
+    site: int,
+    applied_counts: np.ndarray,
+) -> bool:
+    """A_OPT for a Full-Track SM at ``site``.
+
+    ``applied_counts[j]`` counts updates written by ap_j applied at this
+    site.  The piggybacked matrix was incremented for this very message
+    before sending, so the sender's own column entry is discounted by
+    one: the message is applicable when it is the *next* update from its
+    sender destined here and every other writer's destined-here updates
+    have all arrived.
+    """
+    col = matrix.column(site)
+    required = col.copy()
+    required[sender] -= 1
+    return bool((applied_counts >= required).all())
+
+
+def full_track_rm_ready(
+    matrix: MatrixClock,
+    site: int,
+    applied_counts: np.ndarray,
+) -> bool:
+    """Gate for a Full-Track RM at the reading ``site``.
+
+    The piggybacked ``LastWriteOn`` matrix counts, in column ``site``,
+    exactly the updates destined here that causally precede the write
+    whose value was fetched; all of them must have been applied before
+    the read may complete.  (The fetched write itself is never destined
+    to the reader — otherwise no fetch would have been issued.)
+    """
+    return bool((applied_counts >= matrix.column(site)).all())
+
+
+def opt_track_entries_ready(
+    entries: Iterable[PiggybackEntry],
+    site: int,
+    applied_clocks: np.ndarray,
+) -> bool:
+    """A_OPT for Opt-Track metadata (both SM logs and RM logs).
+
+    ``applied_clocks[j]`` holds the highest write-clock of ap_j applied
+    at this site (clocks of one writer increase monotonically along its
+    FIFO channels, so "highest applied" identifies the applied prefix of
+    the writes destined here).  The message is applicable when every
+    piggybacked record naming this site as a destination has been
+    applied.
+    """
+    for e in entries:
+        if site in e.dests and applied_clocks[e.writer] < e.clock:
+            return False
+    return True
+
+
+def crp_sm_ready(
+    writer: int,
+    clock: int,
+    log: Iterable[tuple[int, int]],
+    applied_clocks: np.ndarray,
+) -> bool:
+    """A_OPT for an Opt-Track-CRP SM.
+
+    Under full replication every write by ``writer`` reaches every site,
+    so the local applied clock must be exactly ``clock - 1`` (the message
+    is the writer's next update), and every piggybacked dependency must
+    already be applied.
+    """
+    if applied_clocks[writer] != clock - 1:
+        return False
+    for j, c in log:
+        if applied_clocks[j] < c:
+            return False
+    return True
+
+
+def optp_sm_ready(
+    writer: int,
+    vector: VectorClock,
+    applied_counts: np.ndarray,
+) -> bool:
+    """A_OPT for an optP SM (Baldoni et al.).
+
+    ``W[writer]`` includes the message itself; all other components are
+    pure dependencies.
+    """
+    if applied_counts[writer] != vector[writer] - 1:
+        return False
+    required = vector.v.copy()
+    required[writer] -= 1
+    return bool((applied_counts >= required).all())

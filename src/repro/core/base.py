@@ -1,0 +1,396 @@
+"""Protocol framework: context, base class, pending buffers, registry.
+
+Every protocol implements the paper's process model (Section IV-A): an
+*application subsystem* calls :meth:`CausalProtocol.write` and
+:meth:`CausalProtocol.read`, while the *message receipt subsystem* is the
+:meth:`CausalProtocol.on_message` entry point invoked by the network.
+
+The base class centralizes the machinery all four protocols share:
+
+* the pending-SM buffer with fixpoint re-scanning — whenever any update
+  is applied, previously blocked updates may have become applicable, so
+  the buffer is re-scanned until no progress is made (this realizes the
+  per-message waiting threads of the paper's JDK testbed without
+  threads);
+* the remote-fetch state machine (issue FM, buffer the RM until its
+  gating predicate holds, complete the blocked read);
+* metered send/multicast helpers that price each message against the
+  size model and feed the metrics collector at send time;
+* history recording hooks for the causal-consistency checker.
+
+Concrete protocols override the small, well-named primitive methods
+(``_sm_ready``, ``_apply_sm``, ``_rm_ready``, ``_complete_rm`` ...)
+rather than the control flow.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..memory.replication import Placement
+from ..memory.store import SiteStore, WriteId
+from ..metrics.collector import MessageKind, MetricsCollector
+from ..metrics.sizing import SizeModel
+from ..sim.engine import Simulator
+from ..sim.network import Network
+from ..verify.history import HistoryRecorder
+from .messages import FetchMessage
+
+__all__ = [
+    "ProtocolContext",
+    "CausalProtocol",
+    "ReadCallback",
+    "register_protocol",
+    "create_protocol",
+    "protocol_names",
+    "get_protocol_class",
+]
+
+#: Signature of the continuation a read hands to the protocol:
+#: ``on_complete(value, write_id_or_None, was_remote)``.
+ReadCallback = Callable[[object, Optional[WriteId], bool], None]
+
+
+@dataclass
+class ProtocolContext:
+    """Everything a protocol instance needs from its hosting site."""
+
+    site: int
+    n_sites: int
+    placement: Placement
+    store: SiteStore
+    network: Network
+    sim: Simulator
+    collector: MetricsCollector
+    size_model: SizeModel
+    history: HistoryRecorder = field(default_factory=lambda: HistoryRecorder(enabled=False))
+
+
+@dataclass(eq=False)  # identity equality: buffered entries must be distinct
+class _PendingSM:
+    """An update buffered until its activation predicate becomes true."""
+
+    src: int
+    message: object
+    arrived: float
+
+
+@dataclass(eq=False)
+class _PendingRM:
+    """A remote return buffered until its gating predicate becomes true."""
+
+    src: int
+    message: object
+    arrived: float
+
+
+@dataclass(eq=False)
+class _PendingFM:
+    """A fetch request buffered until the reader's requirements are met."""
+
+    src: int
+    message: object
+    arrived: float
+
+
+@dataclass
+class _OutstandingFetch:
+    """A read blocked on a RemoteFetch round trip."""
+
+    var: int
+    on_complete: ReadCallback
+    op_index: Optional[int]
+    issued: float
+
+
+class CausalProtocol(abc.ABC):
+    """Base class for the four causal-consistency protocols."""
+
+    #: registry key, e.g. ``"opt-track"``
+    name: str = "abstract"
+    #: True for protocols that require p = n
+    full_replication: bool = False
+
+    def __init__(self, ctx: ProtocolContext) -> None:
+        if self.full_replication and not ctx.placement.is_full:
+            raise ValueError(
+                f"{self.name} requires full replication (p = n), got "
+                f"p={ctx.placement.replication_factor}, n={ctx.n_sites}"
+            )
+        self.ctx = ctx
+        self.site = ctx.site
+        self.n = ctx.n_sites
+        self._pending_sm: list[_PendingSM] = []
+        self._pending_rm: list[_PendingRM] = []
+        self._pending_fm: list[_PendingFM] = []
+        self._fetches: dict[int, _OutstandingFetch] = {}
+        self._next_request_id = 0
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # public API driven by the application subsystem
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def write(self, var: int, value: object, *, op_index: Optional[int] = None) -> WriteId:
+        """Perform w(x_var)value locally and multicast it to all replicas."""
+
+    def read(
+        self, var: int, on_complete: ReadCallback, *, op_index: Optional[int] = None
+    ) -> None:
+        """Perform r(x_var); ``on_complete`` fires when the value is known.
+
+        Local reads complete synchronously (before this method returns);
+        remote reads issue an FM to the predesignated replica and
+        complete when the gated RM arrives.
+        """
+        ctx = self.ctx
+        if ctx.placement.is_replicated_at(var, self.site):
+            value, write_id = self._local_read(var)
+            ctx.collector.record_operation(False, remote=False)
+            ctx.history.record_read_op(
+                time=ctx.sim.now, site=self.site, var=var, value=value,
+                write_id=write_id, op_index=op_index, remote=False,
+            )
+            on_complete(value, write_id, False)
+            return
+        ctx.collector.record_operation(False, remote=True)
+        target = ctx.placement.fetch_site(var, self.site)
+        req_id = self._next_request_id
+        self._next_request_id += 1
+        self._fetches[req_id] = _OutstandingFetch(
+            var=var, on_complete=on_complete, op_index=op_index, issued=ctx.sim.now
+        )
+        ctx.history.record_fetch(time=ctx.sim.now, site=self.site, peer=target, var=var)
+        self._send(
+            target,
+            FetchMessage(
+                var=var, reader=self.site, request_id=req_id,
+                requirements=self._fetch_requirements(var, target),
+            ),
+            MessageKind.FM,
+        )
+
+    # ------------------------------------------------------------------
+    # message receipt subsystem
+    # ------------------------------------------------------------------
+    def on_message(self, src: int, message: object) -> None:
+        """Network delivery entry point (dispatch by message class)."""
+        if isinstance(message, FetchMessage):
+            # Serving is deferred until every write the reader causally
+            # requires of this site has been applied here — otherwise the
+            # reply could be causally behind the reader's own knowledge
+            # (DESIGN.md, "gating fetch service").
+            self._pending_fm.append(_PendingFM(src, message, self.ctx.sim.now))
+            self._drain()
+            return
+        if self._is_rm(message):
+            self._pending_rm.append(_PendingRM(src, message, self.ctx.sim.now))
+            self._drain()
+            return
+        # anything else is this protocol's SM type
+        self._pending_sm.append(_PendingSM(src, message, self.ctx.sim.now))
+        self._drain()
+
+    # ------------------------------------------------------------------
+    # machinery shared by all protocols
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        """Fixpoint application of buffered SMs and gated RMs.
+
+        Applying one update can unblock others (and unblock remote-read
+        completions, which in turn never block further updates but may
+        enlarge the local log), so iterate until a full pass makes no
+        progress.  Guarded against reentrancy: completions invoked here
+        may issue new operations synchronously.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            progress = True
+            while progress:
+                progress = False
+                # index-based sweeps: nested calls may append to these
+                # lists (appended items are visited later in the same
+                # pass), and in-place deletion keeps the scan O(P) per
+                # application instead of O(P^2)
+                i = 0
+                while i < len(self._pending_sm):
+                    pending = self._pending_sm[i]
+                    if self._sm_ready(pending.src, pending.message):
+                        del self._pending_sm[i]
+                        delay = self.ctx.sim.now - pending.arrived
+                        if delay > 0:
+                            # only genuinely buffered updates count: an
+                            # immediately-applicable SM has no gating cost
+                            self.ctx.collector.record_activation_delay(delay)
+                        self._apply_sm(pending.src, pending.message)
+                        progress = True
+                    else:
+                        i += 1
+                i = 0
+                while i < len(self._pending_rm):
+                    pending = self._pending_rm[i]
+                    if self._rm_ready(pending.src, pending.message):
+                        del self._pending_rm[i]
+                        self._complete_rm(pending.src, pending.message)
+                        progress = True
+                    else:
+                        i += 1
+                i = 0
+                while i < len(self._pending_fm):
+                    pending = self._pending_fm[i]
+                    if self._fm_ready(pending.message):
+                        del self._pending_fm[i]
+                        self._serve_fetch(pending.src, pending.message)
+                        progress = True
+                    else:
+                        i += 1
+        finally:
+            self._draining = False
+
+    def _send(self, dst: int, message: object, kind: MessageKind) -> None:
+        """Price, record, and transmit one message.
+
+        The priced metadata size is handed to the network so that, under
+        a finite-bandwidth model, bigger metadata costs transmission
+        time (size never affects timing in the default infinite-
+        bandwidth model, matching the paper).
+        """
+        size = message.metadata_size(self.ctx.size_model)  # type: ignore[attr-defined]
+        self.ctx.collector.record_message(kind, size)
+        self.ctx.history.record_send(
+            time=self.ctx.sim.now, site=self.site, peer=dst,
+            detail=type(message).__name__,
+        )
+        self.ctx.network.send(self.site, dst, message, size_bytes=size)
+
+    def _multicast(
+        self,
+        dests: Sequence[int],
+        message_for: Callable[[int], object],
+        kind: MessageKind = MessageKind.SM,
+    ) -> int:
+        """Metered multicast: one (possibly distinct) message per remote dest."""
+        sent = 0
+        for dst in dests:
+            if dst == self.site:
+                continue
+            self._send(dst, message_for(dst), kind)
+            sent += 1
+        return sent
+
+    def _fetch_requirements(self, var: int, target: int) -> tuple[tuple[int, int], ...]:
+        """(writer, threshold) pairs the fetch target must have applied
+        before it may serve this reader (see :class:`FetchMessage`).
+
+        Defaults to none; partial-replication protocols override it with
+        the writes in their causal past destined to ``target``.
+        """
+        return ()
+
+    def _fm_ready(self, message: FetchMessage) -> bool:
+        """Fetch-service gate: all of the reader's requirements applied.
+
+        Compares against ``self.applied`` — every concrete protocol keeps
+        that array, with requirement thresholds expressed in the same
+        unit it uses (apply counts for Full-Track, write clocks for
+        Opt-Track).
+        """
+        applied = self.applied  # type: ignore[attr-defined]
+        return all(applied[j] >= c for j, c in message.requirements)
+
+    def _complete_fetch(
+        self, request_id: int, value: object, write_id: Optional[WriteId]
+    ) -> None:
+        """Finish the read blocked on ``request_id`` (RM gating already passed)."""
+        fetch = self._fetches.pop(request_id)
+        ctx = self.ctx
+        ctx.collector.record_fetch_rtt(ctx.sim.now - fetch.issued)
+        ctx.history.record_read_op(
+            time=ctx.sim.now, site=self.site, var=fetch.var, value=value,
+            write_id=write_id, op_index=fetch.op_index, remote=True,
+        )
+        fetch.on_complete(value, write_id, True)
+
+    # ------------------------------------------------------------------
+    # state protocol subclasses must provide
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _local_read(self, var: int) -> tuple[object, Optional[WriteId]]:
+        """Read the local replica, performing the protocol's merge-on-read."""
+
+    @abc.abstractmethod
+    def _serve_fetch(self, src: int, message: FetchMessage) -> None:
+        """Answer a remote read with an RM carrying LastWriteOn metadata."""
+
+    @abc.abstractmethod
+    def _is_rm(self, message: object) -> bool:
+        """True when ``message`` is this protocol's RM type."""
+
+    @abc.abstractmethod
+    def _sm_ready(self, src: int, message: object) -> bool:
+        """Activation predicate A_OPT for a buffered SM."""
+
+    @abc.abstractmethod
+    def _apply_sm(self, src: int, message: object) -> None:
+        """Apply an activated SM to the local replica."""
+
+    def _rm_ready(self, src: int, message: object) -> bool:
+        """Gating predicate for a buffered RM (overridden by partial-
+        replication protocols; full-replication ones never see RMs)."""
+        raise NotImplementedError
+
+    def _complete_rm(self, src: int, message: object) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # introspection used by tests and the runner
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Buffered messages + outstanding fetches (0 at quiescence)."""
+        return (len(self._pending_sm) + len(self._pending_rm)
+                + len(self._pending_fm) + len(self._fetches))
+
+    def log_size(self) -> int:
+        """Current causality-metadata size (entries); protocol-specific."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} site={self.site} pending={self.pending_count}>"
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, type[CausalProtocol]] = {}
+
+
+def register_protocol(cls: type[CausalProtocol]) -> type[CausalProtocol]:
+    """Class decorator adding a protocol to the by-name registry."""
+    key = cls.name
+    if key in _REGISTRY and _REGISTRY[key] is not cls:
+        raise ValueError(f"duplicate protocol name {key!r}")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def create_protocol(name: str, ctx: ProtocolContext) -> CausalProtocol:
+    """Instantiate a registered protocol by name."""
+    return get_protocol_class(name)(ctx)
+
+
+def get_protocol_class(name: str) -> type[CausalProtocol]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def protocol_names() -> list[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,134 @@
+"""Logical clocks tracking the ->co relation.
+
+Two clock structures appear in the protocols:
+
+* :class:`MatrixClock` — the n x n ``Write`` matrix of Full-Track.
+  ``Write[j][k] = c`` means "c updates sent by application process ap_j to
+  site s_k causally happened before (under ->co)".
+* :class:`VectorClock` — the size-n ``Write`` vector of optP (Baldoni et
+  al.), the full-replication degenerate case where all of ap_j's updates
+  go to every site, so one counter per writer suffices.
+
+Both track the *->co* relation rather than Lamport's happened-before:
+piggybacked clocks are **not** merged at message receipt, only when a
+later read returns the value that travelled with the message (Section
+III-A).  The classes here are pure data structures; that merge-on-read
+policy lives in the protocols.
+
+NumPy arrays back both clocks: entrywise max over an n x n matrix is the
+hot operation in Full-Track runs and vectorizes to a single ufunc call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["MatrixClock", "VectorClock"]
+
+
+class MatrixClock:
+    """An n x n matrix of update counters, indexed [writer][destination]."""
+
+    __slots__ = ("n", "m")
+
+    def __init__(self, n: int, values: np.ndarray | None = None) -> None:
+        if n <= 0:
+            raise ValueError("matrix clock needs n >= 1")
+        self.n = n
+        if values is None:
+            self.m = np.zeros((n, n), dtype=np.int64)
+        else:
+            arr = np.asarray(values, dtype=np.int64)
+            if arr.shape != (n, n):
+                raise ValueError(f"expected shape {(n, n)}, got {arr.shape}")
+            if (arr < 0).any():
+                raise ValueError("clock entries cannot be negative")
+            self.m = arr.copy()
+
+    # ------------------------------------------------------------------
+    def increment(self, writer: int, dests: Iterable[int]) -> None:
+        """Record one write by ``writer`` multicast to ``dests``."""
+        for d in dests:
+            self.m[writer, d] += 1
+
+    def merge(self, other: "MatrixClock") -> None:
+        """Entrywise max — the join of the ->co knowledge lattice."""
+        if other.n != self.n:
+            raise ValueError("cannot merge clocks of different dimension")
+        np.maximum(self.m, other.m, out=self.m)
+
+    def copy(self) -> "MatrixClock":
+        return MatrixClock(self.n, self.m)
+
+    def column(self, dest: int) -> np.ndarray:
+        """Counters of updates destined to ``dest``, per writer (a view)."""
+        return self.m[:, dest]
+
+    def __getitem__(self, idx: tuple[int, int]) -> int:
+        return int(self.m[idx])
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MatrixClock)
+            and self.n == other.n
+            and bool(np.array_equal(self.m, other.m))
+        )
+
+    def dominates(self, other: "MatrixClock") -> bool:
+        """True when self >= other entrywise (lattice order)."""
+        return bool((self.m >= other.m).all())
+
+    def __repr__(self) -> str:
+        return f"MatrixClock(n={self.n}, sum={int(self.m.sum())})"
+
+
+class VectorClock:
+    """A size-n vector of per-writer update counters (optP)."""
+
+    __slots__ = ("n", "v")
+
+    def __init__(self, n: int, values: Sequence[int] | np.ndarray | None = None) -> None:
+        if n <= 0:
+            raise ValueError("vector clock needs n >= 1")
+        self.n = n
+        if values is None:
+            self.v = np.zeros(n, dtype=np.int64)
+        else:
+            arr = np.asarray(values, dtype=np.int64)
+            if arr.shape != (n,):
+                raise ValueError(f"expected shape {(n,)}, got {arr.shape}")
+            if (arr < 0).any():
+                raise ValueError("clock entries cannot be negative")
+            self.v = arr.copy()
+
+    def increment(self, writer: int) -> int:
+        """Count one write by ``writer``; returns the new counter value."""
+        self.v[writer] += 1
+        return int(self.v[writer])
+
+    def merge(self, other: "VectorClock") -> None:
+        """Entrywise max (join)."""
+        if other.n != self.n:
+            raise ValueError("cannot merge clocks of different dimension")
+        np.maximum(self.v, other.v, out=self.v)
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self.n, self.v)
+
+    def __getitem__(self, writer: int) -> int:
+        return int(self.v[writer])
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, VectorClock)
+            and self.n == other.n
+            and bool(np.array_equal(self.v, other.v))
+        )
+
+    def dominates(self, other: "VectorClock") -> bool:
+        return bool((self.v >= other.v).all())
+
+    def __repr__(self) -> str:
+        return f"VectorClock({self.v.tolist()})"

@@ -1,0 +1,119 @@
+"""HB-Track: the non-optimal baseline that tracks happened-before.
+
+The paper's protocols all track the ->co relation of Baldoni et al.: a
+piggybacked clock joins the local clock only when a *read* returns the
+value that travelled with it.  The classical alternative — what a causal
+*broadcast* layer (Birman–Schiper–Stephenson style) does — merges the
+piggybacked clock at message **receipt**, thereby tracking Lamport's
+happened-before relation ->, a strict superset of ->co.
+
+Every dependency ->co induces is also induced by ->, so HB-Track is
+still causally consistent (safety is preserved; the property tests hold
+it to the same checker).  What it adds is **false causality**: updates
+wait for other updates merely because their writers had *received*
+unrelated messages, not read them.  Under full replication the metadata
+is the same size-n vector as optP, so the difference between optP and
+HB-Track isolates exactly what the optimal activation predicate buys:
+shorter activation buffering and lower visibility latency, measured by
+``benchmarks/bench_ablation_false_causality.py``.
+
+This protocol exists for that ablation; it is not part of the paper's
+suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..memory.store import WriteId
+from ..metrics.collector import MessageKind
+from .activation import optp_sm_ready
+from .base import CausalProtocol, ProtocolContext, register_protocol
+from .clocks import VectorClock
+from .messages import FetchMessage, OptPSM
+
+__all__ = ["HBTrackProtocol"]
+
+
+@register_protocol
+class HBTrackProtocol(CausalProtocol):
+    """Full-replication causal memory tracking -> instead of ->co."""
+
+    name = "hb-track"
+    full_replication = True
+
+    def __init__(self, ctx: ProtocolContext) -> None:
+        super().__init__(ctx)
+        self.write_clock = VectorClock(self.n)
+        self.applied = np.zeros(self.n, dtype=np.int64)
+        self.last_write_on: dict[int, WriteId] = {}
+
+    # ------------------------------------------------------------------
+    # application subsystem
+    # ------------------------------------------------------------------
+    def write(self, var: int, value: object, *, op_index: Optional[int] = None) -> WriteId:
+        ctx = self.ctx
+        clock = self.write_clock.increment(self.site)
+        wid = WriteId(self.site, clock)
+        snapshot = self.write_clock.copy()
+
+        ctx.collector.record_operation(True)
+        ctx.history.record_write_op(
+            time=ctx.sim.now, site=self.site, var=var, value=value,
+            write_id=wid, op_index=op_index,
+        )
+        sm = OptPSM(var=var, value=value, write_id=wid, vector=snapshot,
+                    issued_at=ctx.sim.now)
+        self._multicast(range(self.n), lambda d: sm, MessageKind.SM)
+
+        self._apply_value(var, value, wid, snapshot)
+        self._drain()
+        return wid
+
+    def _local_read(self, var: int) -> tuple[object, Optional[WriteId]]:
+        # no merge here: under -> tracking the dependency was already
+        # absorbed when the update message was received
+        slot = self.ctx.store.read(var)
+        return slot.value, slot.write_id
+
+    # ------------------------------------------------------------------
+    # message receipt subsystem
+    # ------------------------------------------------------------------
+    def _is_rm(self, message: object) -> bool:
+        return False
+
+    def _serve_fetch(self, src: int, message: FetchMessage) -> None:
+        raise RuntimeError("hb-track must never receive fetch requests")
+
+    def _sm_ready(self, src: int, message: object) -> bool:
+        assert isinstance(message, OptPSM)
+        return optp_sm_ready(message.write_id.site, message.vector, self.applied)
+
+    def _apply_sm(self, src: int, message: object) -> None:
+        assert isinstance(message, OptPSM)
+        self.ctx.collector.record_visibility(self.ctx.sim.now - message.issued_at)
+        self._apply_value(message.var, message.value, message.write_id,
+                          message.vector)
+
+    def _apply_value(
+        self, var: int, value: object, wid: WriteId, vector: VectorClock
+    ) -> None:
+        ctx = self.ctx
+        ctx.store.apply(var, value, wid, ctx.sim.now)
+        if self.applied[wid.site] != wid.clock - 1:
+            raise AssertionError(
+                f"activation violated FIFO: {wid} after count {self.applied[wid.site]}"
+            )
+        self.applied[wid.site] = wid.clock
+        self.last_write_on[var] = wid
+        # merge-on-receipt: THE defining difference — every applied
+        # update becomes a dependency of all future local writes,
+        # whether or not its value is ever read (false causality)
+        self.write_clock.merge(vector)
+        ctx.history.record_apply(time=ctx.sim.now, site=self.site, var=var, write_id=wid)
+
+    # ------------------------------------------------------------------
+    def log_size(self) -> int:
+        return self.n

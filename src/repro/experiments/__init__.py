@@ -1,0 +1,30 @@
+"""Paper experiment configurations, sweep driver, and report formatting."""
+
+from . import paper
+from .figures import reproduce_all
+from .configs import EXPERIMENTS, ExperimentSpec, bench_ops, bench_seeds
+from .report import ascii_chart, csv_text, format_kv, format_table, write_csv
+from .runner import RunResult, SimulationConfig, build_placement, run_simulation
+from .sweep import CellResult, averaged_cell, cell_config, paired_runs
+
+__all__ = [
+    "SimulationConfig",
+    "RunResult",
+    "run_simulation",
+    "build_placement",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "bench_ops",
+    "bench_seeds",
+    "averaged_cell",
+    "paired_runs",
+    "cell_config",
+    "CellResult",
+    "format_table",
+    "format_kv",
+    "csv_text",
+    "write_csv",
+    "ascii_chart",
+    "paper",
+    "reproduce_all",
+]

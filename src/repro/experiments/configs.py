@@ -1,0 +1,177 @@
+"""Parameter grids for every experiment in the paper's Section V.
+
+One :class:`ExperimentSpec` per figure/table, with the exact parameter
+grid the paper swept.  ``ops_per_process`` and ``seeds`` default to the
+paper's values but are overridable everywhere — the pytest-benchmark
+harness runs reduced scales by default (see ``benchmarks/README`` inside
+each bench file) with environment knobs to go full scale:
+
+* ``REPRO_BENCH_OPS``   — operations per process (paper: 600)
+* ``REPRO_BENCH_SEEDS`` — number of independent runs averaged (paper:
+  "multiple runs", <=1% variation)
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "PARTIAL_NS",
+    "FULL_NS",
+    "WRITE_RATES",
+    "bench_ops",
+    "bench_seeds",
+]
+
+#: process counts the paper sweeps under partial replication (Figs 1-4, Tab II/IV)
+PARTIAL_NS = (5, 10, 20, 30, 40)
+#: process counts the paper sweeps under full replication (Figs 5-8, Tab III)
+FULL_NS = (5, 10, 20, 30, 35, 40)
+#: write rates used throughout
+WRITE_RATES = (0.2, 0.5, 0.8)
+
+#: paper defaults
+PAPER_OPS = 600
+PAPER_N_VARS = 100
+
+
+def bench_ops(default: int = 120) -> int:
+    """Operations per process for benchmark runs (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_OPS", default))
+
+
+def bench_seeds(default: int = 1) -> int:
+    """Independent seeds averaged per cell (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_SEEDS", default))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one paper experiment."""
+
+    id: str
+    title: str
+    protocols: tuple[str, ...]
+    n_values: tuple[int, ...]
+    write_rates: tuple[float, ...]
+    metric: str
+    notes: str = ""
+    n_vars: int = PAPER_N_VARS
+
+    def cells(self):
+        """Iterate the full (protocol, n, write_rate) grid."""
+        for protocol in self.protocols:
+            for n in self.n_values:
+                for wr in self.write_rates:
+                    yield protocol, n, wr
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.id: spec
+    for spec in [
+        ExperimentSpec(
+            id="fig1",
+            title="Total message meta-data overhead ratio, Opt-Track / Full-Track",
+            protocols=("opt-track", "full-track"),
+            n_values=PARTIAL_NS,
+            write_rates=WRITE_RATES,
+            metric="total_metadata_bytes ratio",
+            notes="Partial replication, p = round(0.3 n). Ratio falls with "
+                  "n and with write rate.",
+        ),
+        ExperimentSpec(
+            id="fig2",
+            title="Average per-message meta-data size vs n (w_rate = 0.2)",
+            protocols=("opt-track", "full-track"),
+            n_values=PARTIAL_NS,
+            write_rates=(0.2,),
+            metric="mean SM/RM/FM bytes",
+        ),
+        ExperimentSpec(
+            id="fig3",
+            title="Average per-message meta-data size vs n (w_rate = 0.5)",
+            protocols=("opt-track", "full-track"),
+            n_values=PARTIAL_NS,
+            write_rates=(0.5,),
+            metric="mean SM/RM/FM bytes",
+        ),
+        ExperimentSpec(
+            id="fig4",
+            title="Average per-message meta-data size vs n (w_rate = 0.8)",
+            protocols=("opt-track", "full-track"),
+            n_values=PARTIAL_NS,
+            write_rates=(0.8,),
+            metric="mean SM/RM/FM bytes",
+        ),
+        ExperimentSpec(
+            id="table2",
+            title="Average SM and RM space overhead, Full-Track and Opt-Track (KB)",
+            protocols=("opt-track", "full-track"),
+            n_values=PARTIAL_NS,
+            write_rates=WRITE_RATES,
+            metric="mean SM/RM KB",
+        ),
+        ExperimentSpec(
+            id="fig5",
+            title="Total SM meta-data overhead ratio, Opt-Track-CRP / optP",
+            protocols=("opt-track-crp", "optp"),
+            n_values=FULL_NS,
+            write_rates=WRITE_RATES,
+            metric="total SM bytes ratio",
+            notes="Full replication.",
+        ),
+        ExperimentSpec(
+            id="fig6",
+            title="Average SM meta-data size vs n, full replication (w_rate = 0.2)",
+            protocols=("opt-track-crp", "optp"),
+            n_values=FULL_NS,
+            write_rates=(0.2,),
+            metric="mean SM bytes",
+        ),
+        ExperimentSpec(
+            id="fig7",
+            title="Average SM meta-data size vs n, full replication (w_rate = 0.5)",
+            protocols=("opt-track-crp", "optp"),
+            n_values=FULL_NS,
+            write_rates=(0.5,),
+            metric="mean SM bytes",
+        ),
+        ExperimentSpec(
+            id="fig8",
+            title="Average SM meta-data size vs n, full replication (w_rate = 0.8)",
+            protocols=("opt-track-crp", "optp"),
+            n_values=FULL_NS,
+            write_rates=(0.8,),
+            metric="mean SM bytes",
+        ),
+        ExperimentSpec(
+            id="table3",
+            title="Average SM space overhead, Opt-Track-CRP (bytes) vs optP",
+            protocols=("opt-track-crp", "optp"),
+            n_values=FULL_NS,
+            write_rates=WRITE_RATES,
+            metric="mean SM bytes",
+        ),
+        ExperimentSpec(
+            id="table4",
+            title="Total message count, partial (Opt-Track) vs full (Opt-Track-CRP)",
+            protocols=("opt-track", "opt-track-crp"),
+            n_values=PARTIAL_NS,
+            write_rates=WRITE_RATES,
+            metric="total message count",
+            notes="Same operation schedule replayed through both protocols; "
+                  "compare with eq. (2): partial wins iff w_rate > 2/(n+1).",
+        ),
+        ExperimentSpec(
+            id="eq2",
+            title="Analytic crossover w_rate > 2/(n+1), validated by simulation",
+            protocols=("opt-track", "opt-track-crp"),
+            n_values=PARTIAL_NS,
+            write_rates=(0.1, 0.2, 0.3, 0.4, 0.5),
+            metric="message count ratio vs analytic prediction",
+        ),
+    ]
+}

@@ -1,0 +1,127 @@
+"""One-shot reproduction driver: every exhibit to files.
+
+``reproduce_all`` regenerates all twelve paper exhibits (and nothing
+else — ablations live in the benchmark suite), writing per-exhibit CSVs,
+ASCII charts for the figures, and a combined Markdown report to an
+output directory.  It is the engine behind ``repro reproduce``.
+
+matplotlib is not a dependency; the CSVs are ready for any plotting
+tool, and the ASCII charts are enough to eyeball shapes against the
+paper.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from . import paper
+from .configs import EXPERIMENTS
+from .report import ascii_chart, csv_text, format_table
+
+__all__ = ["reproduce_all", "EXHIBIT_RUNNERS"]
+
+
+def _fig1_chart(rows) -> str:
+    rates = sorted({r["write_rate"] for r in rows})
+    return ascii_chart(
+        {f"w={wr}": [(r["n"], r["ratio"]) for r in rows if r["write_rate"] == wr]
+         for wr in rates},
+        title="Opt-Track / Full-Track total metadata ratio",
+        x_label="n", y_label="ratio",
+    )
+
+
+def _partial_chart(rows) -> str:
+    by_proto: dict[str, list] = {}
+    for r in rows:
+        label = "OT SM" if r["protocol"] == "opt-track" else "FT SM"
+        by_proto.setdefault(label, []).append((r["n"], r["sm_bytes"]))
+    return ascii_chart(by_proto, title="average SM metadata bytes vs n",
+                       x_label="n", y_label="bytes")
+
+
+def _fig5_chart(rows) -> str:
+    rates = sorted({r["write_rate"] for r in rows})
+    return ascii_chart(
+        {f"w={wr}": [(r["n"], r["ratio"]) for r in rows if r["write_rate"] == wr]
+         for wr in rates},
+        title="Opt-Track-CRP / optP total SM ratio",
+        x_label="n", y_label="ratio",
+    )
+
+
+def _full_chart(rows) -> str:
+    by_proto: dict[str, list] = {}
+    for r in rows:
+        label = "CRP" if r["protocol"] == "opt-track-crp" else "optP"
+        by_proto.setdefault(label, []).append((r["n"], r["sm_bytes"]))
+    return ascii_chart(by_proto, title="average SM metadata bytes vs n",
+                       x_label="n", y_label="bytes")
+
+
+#: exhibit id -> (row producer, optional chart renderer)
+EXHIBIT_RUNNERS: dict[str, tuple[Callable[..., list], Optional[Callable]]] = {
+    "fig1": (paper.fig1_rows, _fig1_chart),
+    "fig2": (lambda **kw: paper.partial_avg_size_rows(0.2, **kw), _partial_chart),
+    "fig3": (lambda **kw: paper.partial_avg_size_rows(0.5, **kw), _partial_chart),
+    "fig4": (lambda **kw: paper.partial_avg_size_rows(0.8, **kw), _partial_chart),
+    "table2": (paper.table2_rows, None),
+    "fig5": (paper.fig5_rows, _fig5_chart),
+    "fig6": (lambda **kw: paper.full_avg_size_rows(0.2, **kw), _full_chart),
+    "fig7": (lambda **kw: paper.full_avg_size_rows(0.5, **kw), _full_chart),
+    "fig8": (lambda **kw: paper.full_avg_size_rows(0.8, **kw), _full_chart),
+    "table3": (paper.table3_rows, None),
+    "table4": (paper.table4_rows, None),
+    "eq2": (paper.eq2_rows, None),
+}
+
+
+def reproduce_all(
+    outdir: str | Path,
+    *,
+    ops_per_process: int = 600,
+    seeds: Sequence[int] = (0,),
+    exhibits: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Path:
+    """Regenerate exhibits into ``outdir``; returns the report path.
+
+    ``exhibits`` restricts the set (default: everything).  ``progress``
+    receives one line per exhibit as it completes.
+    """
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    chosen = list(exhibits) if exhibits is not None else list(EXHIBIT_RUNNERS)
+    unknown = [e for e in chosen if e not in EXHIBIT_RUNNERS]
+    if unknown:
+        raise ValueError(f"unknown exhibits: {unknown}")
+
+    report_lines = [
+        "# Reproduction report",
+        "",
+        f"ops per process: {ops_per_process} (paper: 600); "
+        f"seeds averaged: {len(list(seeds))}",
+        "",
+    ]
+    for exhibit in chosen:
+        runner, chart = EXHIBIT_RUNNERS[exhibit]
+        started = time.perf_counter()
+        rows = runner(ops_per_process=ops_per_process, seeds=tuple(seeds))
+        elapsed = time.perf_counter() - started
+        (out / f"{exhibit}.csv").write_text(csv_text(rows))
+        spec = EXPERIMENTS.get(exhibit)
+        title = spec.title if spec else exhibit
+        report_lines += [f"## {exhibit}: {title}", ""]
+        report_lines += ["```", format_table(rows), "```", ""]
+        if chart is not None:
+            rendered = chart(rows)
+            (out / f"{exhibit}.txt").write_text(rendered)
+            report_lines += ["```", rendered, "```", ""]
+        if progress is not None:
+            progress(f"{exhibit}: {len(rows)} rows in {elapsed:.1f}s")
+
+    report = out / "REPORT.md"
+    report.write_text("\n".join(report_lines))
+    return report

@@ -1,0 +1,225 @@
+"""Drivers regenerating every table and figure of the paper.
+
+Each ``figN_rows`` / ``tableN_rows`` function runs the simulations for
+that exhibit and returns plain row dicts; the benchmark harness and the
+CLI format them (and EXPERIMENTS.md records them against the paper's
+numbers).  All functions accept ``ops_per_process`` and ``seeds`` so the
+same code serves quick CI runs and full paper-scale reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..analysis.tradeoff import crossover_write_rate
+from .configs import FULL_NS, PARTIAL_NS, WRITE_RATES
+from .sweep import averaged_cell, paired_runs
+
+__all__ = [
+    "fig1_rows",
+    "partial_avg_size_rows",
+    "table2_rows",
+    "fig5_rows",
+    "full_avg_size_rows",
+    "table3_rows",
+    "table4_rows",
+    "eq2_rows",
+]
+
+
+def fig1_rows(
+    *,
+    ops_per_process: int,
+    seeds: Iterable[int] = (0,),
+    n_values: Sequence[int] = PARTIAL_NS,
+    write_rates: Sequence[float] = WRITE_RATES,
+) -> list[dict]:
+    """Fig. 1: total metadata ratio Opt-Track / Full-Track vs (n, w_rate)."""
+    rows = []
+    for wr in write_rates:
+        for n in n_values:
+            ot = averaged_cell("opt-track", n, wr,
+                               ops_per_process=ops_per_process, seeds=seeds)
+            ft = averaged_cell("full-track", n, wr,
+                               ops_per_process=ops_per_process, seeds=seeds)
+            rows.append({
+                "n": n,
+                "write_rate": wr,
+                "opt_track_bytes": ot.total_bytes,
+                "full_track_bytes": ft.total_bytes,
+                "ratio": ot.total_bytes / ft.total_bytes if ft.total_bytes else float("nan"),
+            })
+    return rows
+
+
+def partial_avg_size_rows(
+    write_rate: float,
+    *,
+    ops_per_process: int,
+    seeds: Iterable[int] = (0,),
+    n_values: Sequence[int] = PARTIAL_NS,
+) -> list[dict]:
+    """Figs. 2-4: average SM/RM/FM metadata size vs n, partial replication."""
+    rows = []
+    for n in n_values:
+        for protocol in ("opt-track", "full-track"):
+            cell = averaged_cell(protocol, n, write_rate,
+                                 ops_per_process=ops_per_process, seeds=seeds)
+            rows.append({
+                "n": n,
+                "protocol": protocol,
+                "write_rate": write_rate,
+                "sm_bytes": cell.mean_sm,
+                "rm_bytes": cell.mean_rm,
+                "fm_bytes": cell.mean_fm,
+            })
+    return rows
+
+
+def table2_rows(
+    *,
+    ops_per_process: int,
+    seeds: Iterable[int] = (0,),
+    n_values: Sequence[int] = PARTIAL_NS,
+    write_rates: Sequence[float] = WRITE_RATES,
+) -> list[dict]:
+    """Table II: average SM and RM overheads (KB) for both partial protocols."""
+    rows = []
+    for protocol in ("opt-track", "full-track"):
+        for kind in ("SM", "RM"):
+            for wr in write_rates:
+                row = {"protocol": protocol, "kind": kind, "write_rate": wr}
+                for n in n_values:
+                    cell = averaged_cell(protocol, n, wr,
+                                         ops_per_process=ops_per_process, seeds=seeds)
+                    row[f"n{n}"] = cell[f"{kind}_mean_bytes"] / 1000.0  # KB
+                rows.append(row)
+    return rows
+
+
+def fig5_rows(
+    *,
+    ops_per_process: int,
+    seeds: Iterable[int] = (0,),
+    n_values: Sequence[int] = FULL_NS,
+    write_rates: Sequence[float] = WRITE_RATES,
+) -> list[dict]:
+    """Fig. 5: total SM metadata ratio Opt-Track-CRP / optP vs (n, w_rate)."""
+    rows = []
+    for wr in write_rates:
+        for n in n_values:
+            crp = averaged_cell("opt-track-crp", n, wr,
+                                ops_per_process=ops_per_process, seeds=seeds)
+            optp = averaged_cell("optp", n, wr,
+                                 ops_per_process=ops_per_process, seeds=seeds)
+            rows.append({
+                "n": n,
+                "write_rate": wr,
+                "crp_sm_bytes": crp["SM_bytes"],
+                "optp_sm_bytes": optp["SM_bytes"],
+                "ratio": crp["SM_bytes"] / optp["SM_bytes"] if optp["SM_bytes"] else float("nan"),
+            })
+    return rows
+
+
+def full_avg_size_rows(
+    write_rate: float,
+    *,
+    ops_per_process: int,
+    seeds: Iterable[int] = (0,),
+    n_values: Sequence[int] = FULL_NS,
+) -> list[dict]:
+    """Figs. 6-8: average SM metadata size vs n, full replication."""
+    rows = []
+    for n in n_values:
+        for protocol in ("opt-track-crp", "optp"):
+            cell = averaged_cell(protocol, n, write_rate,
+                                 ops_per_process=ops_per_process, seeds=seeds)
+            rows.append({
+                "n": n,
+                "protocol": protocol,
+                "write_rate": write_rate,
+                "sm_bytes": cell.mean_sm,
+            })
+    return rows
+
+
+def table3_rows(
+    *,
+    ops_per_process: int,
+    seeds: Iterable[int] = (0,),
+    n_values: Sequence[int] = FULL_NS,
+    write_rates: Sequence[float] = WRITE_RATES,
+) -> list[dict]:
+    """Table III: average SM bytes for Opt-Track-CRP per write rate, vs optP."""
+    rows = []
+    for n in n_values:
+        row: dict = {"n": n}
+        for wr in write_rates:
+            cell = averaged_cell("opt-track-crp", n, wr,
+                                 ops_per_process=ops_per_process, seeds=seeds)
+            row[f"crp_wrate_{wr}"] = cell.mean_sm
+        optp = averaged_cell("optp", n, write_rates[0],
+                             ops_per_process=ops_per_process, seeds=seeds)
+        row["optp"] = optp.mean_sm  # optP's SM size is n-determined, w_rate-free
+        rows.append(row)
+    return rows
+
+
+def table4_rows(
+    *,
+    ops_per_process: int,
+    seeds: Iterable[int] = (0,),
+    n_values: Sequence[int] = PARTIAL_NS,
+    write_rates: Sequence[float] = WRITE_RATES,
+) -> list[dict]:
+    """Table IV: total message counts, same schedule through both protocols."""
+    rows = []
+    for n in n_values:
+        row: dict = {"n": n}
+        for wr in write_rates:
+            full_counts, partial_counts = [], []
+            for seed in seeds:
+                runs = paired_runs(("opt-track-crp", "opt-track"), n, wr,
+                                   ops_per_process=ops_per_process, seed=seed)
+                full_counts.append(runs["opt-track-crp"].collector.total_message_count)
+                partial_counts.append(runs["opt-track"].collector.total_message_count)
+            row[f"full_{wr}"] = sum(full_counts) / len(full_counts)
+            row[f"partial_{wr}"] = sum(partial_counts) / len(partial_counts)
+        rows.append(row)
+    return rows
+
+
+def eq2_rows(
+    *,
+    ops_per_process: int,
+    seeds: Iterable[int] = (0,),
+    n_values: Sequence[int] = PARTIAL_NS,
+    write_rates: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5),
+) -> list[dict]:
+    """Eq. (2) validation: simulated count ratio vs the analytic crossover.
+
+    For each (n, w_rate) the row records whether partial replication beat
+    full replication in simulation and whether eq. (2) predicted it.
+    """
+    rows = []
+    for n in n_values:
+        threshold = crossover_write_rate(n)
+        for wr in write_rates:
+            ratios = []
+            for seed in seeds:
+                runs = paired_runs(("opt-track-crp", "opt-track"), n, wr,
+                                   ops_per_process=ops_per_process, seed=seed)
+                full = runs["opt-track-crp"].collector.total_message_count
+                partial = runs["opt-track"].collector.total_message_count
+                ratios.append(partial / full if full else float("inf"))
+            ratio = sum(ratios) / len(ratios)
+            rows.append({
+                "n": n,
+                "write_rate": wr,
+                "count_ratio": ratio,
+                "partial_wins_simulated": ratio < 1.0,
+                "partial_wins_predicted": wr > threshold,
+                "analytic_threshold": threshold,
+            })
+    return rows

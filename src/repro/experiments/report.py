@@ -1,0 +1,134 @@
+"""Report formatting: text tables, CSV files, ASCII charts.
+
+Matplotlib is intentionally not a dependency (the reproduction targets
+offline environments); figures are emitted as CSV series plus quick
+ASCII line/bar charts so "regenerating Fig. 3" still produces something
+a human can eyeball against the paper.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["format_table", "write_csv", "csv_text", "ascii_chart", "format_kv"]
+
+
+def _fmt(value: object, float_digits: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    float_digits: int = 3,
+    title: str = "",
+) -> str:
+    """Render row dicts as an aligned monospace table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    cells = [[_fmt(row.get(c, ""), float_digits) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(line[i]) for line in cells)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.rjust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for line in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def csv_text(rows: Sequence[Mapping], columns: Optional[Sequence[str]] = None) -> str:
+    """Rows as CSV text (header + data)."""
+    if not rows:
+        return ""
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=cols, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({c: row.get(c, "") for c in cols})
+    return buf.getvalue()
+
+
+def write_csv(
+    rows: Sequence[Mapping], path: str, columns: Optional[Sequence[str]] = None
+) -> None:
+    """Write rows to ``path`` as CSV."""
+    with open(path, "w", newline="") as fh:
+        fh.write(csv_text(rows, columns))
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A small multi-series scatter/line chart in ASCII.
+
+    ``series`` maps a label to (x, y) points; each series is drawn with
+    its own marker character.  Good enough to eyeball "quadratic vs
+    linear" against the paper's figures.
+    """
+    markers = "ox+*#@%&"
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, ch: str) -> None:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = ch
+
+    for (label, pts), marker in zip(series.items(), markers):
+        for x, y in pts:
+            place(x, y, marker)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} in [{y_lo:g}, {y_hi:g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} in [{x_lo:g}, {x_hi:g}]")
+    legend = "  ".join(
+        f"{marker}={label}" for (label, _), marker in zip(series.items(), markers)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def format_kv(data: Mapping, *, float_digits: int = 3) -> str:
+    """Key/value block for run summaries."""
+    width = max((len(str(k)) for k in data), default=0)
+    return "\n".join(
+        f"{str(k).ljust(width)} : {_fmt(v, float_digits)}" for k, v in data.items()
+    )

@@ -1,0 +1,245 @@
+"""Simulation runner: configuration -> wired system -> measured run.
+
+This is the reproduction's equivalent of the paper's JDK benchmark
+driver: it builds the workload, the placement, the network, one protocol
+instance per site, runs the discrete-event loop to quiescence, enforces
+the warm-up window (first 15% of operation events unmeasured), and
+returns the measured metrics.
+
+``run_simulation`` is strict by default: at the end of a run every site
+must have finished its schedule and every protocol buffer must have
+drained — a protocol bug that deadlocks an activation predicate fails
+the run instead of silently under-reporting messages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from ..core.base import (
+    CausalProtocol,
+    ProtocolContext,
+    create_protocol,
+    get_protocol_class,
+)
+from ..memory.replication import (
+    HashPlacement,
+    Placement,
+    RandomPlacement,
+    RoundRobinPlacement,
+    paper_replication_factor,
+)
+from ..memory.store import SiteStore
+from ..metrics.collector import MetricsCollector
+from ..metrics.sizing import DEFAULT_SIZE_MODEL, SizeModel
+from ..sim.engine import Simulator
+from ..sim.network import LatencyModel, Network, UniformLatency
+from ..sim.process import Site
+from ..verify.history import HistoryRecorder
+from ..workload.generator import generate_workload
+from ..workload.schedule import Workload
+
+__all__ = ["SimulationConfig", "RunResult", "run_simulation", "build_placement"]
+
+#: paper warm-up fraction (Section V)
+PAPER_WARMUP_FRACTION = 0.15
+
+_PLACEMENTS = {
+    "round-robin": RoundRobinPlacement,
+    "hash": HashPlacement,
+}
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything defining one simulation run.
+
+    ``replication_factor=None`` resolves to the protocol's natural
+    default: p = n for full-replication protocols, the paper's
+    p = round(0.3 n) for partial-replication ones.
+    """
+
+    protocol: str
+    n_sites: int
+    n_vars: int = 100
+    replication_factor: Optional[int] = None
+    write_rate: float = 0.5
+    ops_per_process: int = 600
+    gap_range_ms: tuple[float, float] = (5.0, 2005.0)
+    #: "uniform" (the paper's setting) or "zipf" (skewed popularity)
+    var_distribution: str = "uniform"
+    zipf_s: float = 1.1
+    warmup_fraction: float = PAPER_WARMUP_FRACTION
+    seed: int = 0
+    latency: LatencyModel = field(default_factory=UniformLatency)
+    #: bytes/ms each sender's uplink can push (None = infinite, the
+    #: paper's model where metadata size never affects timing)
+    bandwidth_bytes_per_ms: Optional[float] = None
+    size_model: SizeModel = DEFAULT_SIZE_MODEL
+    placement: str = "round-robin"
+    record_history: bool = False
+    strict: bool = True
+    max_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_sites <= 0:
+            raise ValueError("n_sites must be positive")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError("warmup fraction must be in [0, 1)")
+        if self.placement not in _PLACEMENTS and self.placement != "random":
+            raise ValueError(
+                f"unknown placement {self.placement!r}; "
+                f"known: {sorted(_PLACEMENTS) + ['random']}"
+            )
+        get_protocol_class(self.protocol)  # fail fast on typos
+
+    def resolved_replication_factor(self) -> int:
+        if self.replication_factor is not None:
+            return self.replication_factor
+        if get_protocol_class(self.protocol).full_replication:
+            return self.n_sites
+        return paper_replication_factor(self.n_sites)
+
+    def with_protocol(self, protocol: str) -> "SimulationConfig":
+        """Same run, different protocol (Table IV-style comparisons)."""
+        return replace(self, protocol=protocol)
+
+
+@dataclass
+class RunResult:
+    """Output of one simulation run."""
+
+    config: SimulationConfig
+    collector: MetricsCollector
+    workload: Workload
+    history: HistoryRecorder
+    placement: Placement
+    protocols: list[CausalProtocol]
+    sim_time_ms: float
+    total_sim_events: int
+
+    @property
+    def final_log_sizes(self) -> list[int]:
+        """Causality-metadata size per site at quiescence."""
+        return [p.log_size() for p in self.protocols]
+
+    def summary(self) -> dict:
+        """Flat dict of the headline numbers (reports, CSV rows)."""
+        out = {
+            "protocol": self.config.protocol,
+            "n": self.config.n_sites,
+            "p": self.placement.replication_factor,
+            "q": self.config.n_vars,
+            "write_rate": self.config.write_rate,
+            "seed": self.config.seed,
+            "sim_time_ms": self.sim_time_ms,
+        }
+        out.update(self.collector.as_dict())
+        return out
+
+
+def build_placement(config: SimulationConfig) -> Placement:
+    """Construct the replica placement a config describes."""
+    p = config.resolved_replication_factor()
+    if config.placement == "random":
+        return RandomPlacement(config.n_sites, config.n_vars, p, seed=config.seed)
+    return _PLACEMENTS[config.placement](config.n_sites, config.n_vars, p)
+
+
+def run_simulation(
+    config: SimulationConfig,
+    workload: Optional[Workload] = None,
+) -> RunResult:
+    """Execute one full simulation run and return its measurements.
+
+    A caller-provided ``workload`` overrides generation — that is how
+    the *same* schedule is replayed through different protocols.
+    """
+    if workload is None:
+        workload = generate_workload(
+            config.n_sites,
+            n_vars=config.n_vars,
+            write_rate=config.write_rate,
+            ops_per_process=config.ops_per_process,
+            gap_range_ms=config.gap_range_ms,
+            seed=config.seed,
+            var_distribution=config.var_distribution,
+            zipf_s=config.zipf_s,
+        )
+    if workload.n_sites != config.n_sites:
+        raise ValueError(
+            f"workload has {workload.n_sites} sites, config wants {config.n_sites}"
+        )
+    if workload.n_vars > config.n_vars:
+        raise ValueError("workload touches more variables than the config declares")
+
+    placement = build_placement(config)
+    sim = Simulator(max_events=config.max_events)
+    net_rng = np.random.default_rng(np.random.SeedSequence(config.seed).spawn(1)[0])
+    network = Network(sim, config.n_sites, config.latency, rng=net_rng,
+                      bandwidth_bytes_per_ms=config.bandwidth_bytes_per_ms)
+    collector = MetricsCollector()
+    history = HistoryRecorder(enabled=config.record_history)
+
+    # Warm-up gate: open the measurement window once the first
+    # ceil(fraction * total) operations have *started* (paper Sec. V).
+    total_ops = workload.total_operations
+    warmup_ops = math.ceil(config.warmup_fraction * total_ops)
+    started = 0
+
+    def on_operation(site_id: int) -> None:
+        nonlocal started
+        started += 1
+        if started == warmup_ops + 1 or (warmup_ops == 0 and started == 1):
+            collector.start_measuring()
+
+    if warmup_ops == 0:
+        collector.start_measuring()
+
+    protocols: list[CausalProtocol] = []
+    sites: list[Site] = []
+    for i in range(config.n_sites):
+        ctx = ProtocolContext(
+            site=i,
+            n_sites=config.n_sites,
+            placement=placement,
+            store=SiteStore(i, placement.vars_at(i)),
+            network=network,
+            sim=sim,
+            collector=collector,
+            size_model=config.size_model,
+            history=history,
+        )
+        proto = create_protocol(config.protocol, ctx)
+        network.register(i, proto.on_message)
+        protocols.append(proto)
+        sites.append(Site(proto, workload.for_site(i), sim, on_operation=on_operation))
+
+    for site in sites:
+        site.start()
+    end_time = sim.run()
+
+    if config.strict:
+        stuck_sites = [s.site_id for s in sites if not s.finished]
+        if stuck_sites:
+            raise RuntimeError(f"sites never finished their schedules: {stuck_sites}")
+        undrained = {p.site: p.pending_count for p in protocols if p.pending_count}
+        if undrained:
+            raise RuntimeError(
+                f"protocol buffers not drained at quiescence: {undrained}"
+            )
+
+    return RunResult(
+        config=config,
+        collector=collector,
+        workload=workload,
+        history=history,
+        placement=placement,
+        protocols=protocols,
+        sim_time_ms=end_time,
+        total_sim_events=sim.processed_events,
+    )

@@ -1,0 +1,18 @@
+"""Measurement: message-size model, collectors, summary statistics."""
+
+from .collector import MessageKind, MessageTally, MetricsCollector
+from .sizing import DEFAULT_SIZE_MODEL, KILOBYTE, SizeModel
+from .stats import RunningStat, Summary, percentile, summarize
+
+__all__ = [
+    "MessageKind",
+    "MessageTally",
+    "MetricsCollector",
+    "SizeModel",
+    "DEFAULT_SIZE_MODEL",
+    "KILOBYTE",
+    "RunningStat",
+    "Summary",
+    "summarize",
+    "percentile",
+]

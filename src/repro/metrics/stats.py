@@ -1,0 +1,121 @@
+"""Small statistics helpers shared by the metrics collector and reports."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["RunningStat", "Summary", "summarize", "percentile"]
+
+
+@dataclass
+class RunningStat:
+    """Streaming count/mean/variance/min/max (Welford's algorithm).
+
+    O(1) memory; used for per-message-size statistics where a simulation
+    can generate hundreds of thousands of samples.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    total: float = 0.0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        self.total += x
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0 for fewer than two samples)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStat") -> "RunningStat":
+        """Combine two streams (Chan et al. parallel variance formula)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            self.total = other.total
+            return self
+        n = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / n
+        self.mean = (self.mean * self.count + other.mean * other.count) / n
+        self.count = n
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Immutable snapshot of a sample's descriptive statistics."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    total: float
+    p50: float
+    p95: float
+
+
+def percentile(sorted_xs: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile over an already-sorted sequence."""
+    if not sorted_xs:
+        raise ValueError("empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    if len(sorted_xs) == 1:
+        return float(sorted_xs[0])
+    pos = (len(sorted_xs) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return float(sorted_xs[lo])
+    frac = pos - lo
+    return float(sorted_xs[lo] * (1 - frac) + sorted_xs[hi] * frac)
+
+
+def summarize(xs: Iterable[float]) -> Summary:
+    """Descriptive statistics of a finite sample (materializes it once)."""
+    data = sorted(float(x) for x in xs)
+    if not data:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    rs = RunningStat()
+    rs.extend(data)
+    return Summary(
+        count=rs.count,
+        mean=rs.mean,
+        stdev=rs.stdev,
+        minimum=rs.minimum,
+        maximum=rs.maximum,
+        total=rs.total,
+        p50=percentile(data, 50),
+        p95=percentile(data, 95),
+    )

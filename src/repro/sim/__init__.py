@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate (engine, network, process model)."""
+
+from .engine import ScheduledEvent, SimulationError, Simulator
+from .events import EventKind, EventRecord
+from .network import (
+    AdversarialLatency,
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    Network,
+    PerPairLatency,
+    UniformLatency,
+)
+from .process import Site
+
+__all__ = [
+    "Simulator",
+    "ScheduledEvent",
+    "SimulationError",
+    "EventKind",
+    "EventRecord",
+    "Network",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "PerPairLatency",
+    "AdversarialLatency",
+    "Site",
+]

@@ -1,0 +1,174 @@
+"""Discrete-event simulation kernel.
+
+The paper's original testbed drives protocol processes with JDK-8
+``ScheduledExecutorService`` timers over real TCP sockets.  Here the same
+semantics (timed operation schedules, asynchronous message delivery over
+reliable FIFO channels) are reproduced with a deterministic discrete-event
+simulator: a priority queue of timestamped events, a simulated clock in
+milliseconds, and total-order tie-breaking so that two runs with the same
+seed are bit-for-bit identical.
+
+The kernel is deliberately minimal: everything domain-specific (channels,
+processes, protocols) is layered on top via callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Simulator", "ScheduledEvent", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation kernel.
+
+    Examples: scheduling into the past, running a simulator that was
+    already stopped with an error, or exceeding the configured event
+    budget (a runaway-protocol guard for tests).
+    """
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A pending callback in the event queue.
+
+    Ordering is ``(time, seq)``: events fire in timestamp order, with the
+    insertion sequence number breaking ties deterministically.  The
+    callback and its annotation do not participate in ordering.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with a millisecond clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(5.0, lambda: print("fires at t=5ms"))
+        sim.run()
+
+    The clock only advances when events are popped; callbacks may schedule
+    further events (at or after the current time).  ``run`` processes
+    events until the queue drains, a time horizon is reached, or the event
+    budget is exhausted.
+    """
+
+    def __init__(self, *, max_events: Optional[int] = None) -> None:
+        self._queue: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+        self._max_events = max_events
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # clock & introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to fire ``delay`` ms from now.
+
+        ``delay`` must be non-negative; zero-delay events run after all
+        events already queued for the current instant (FIFO at equal
+        timestamps).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        return self.schedule_at(self._now + delay, callback, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute simulated time ``time`` ms."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r} before current time t={self._now!r}"
+            )
+        ev = ScheduledEvent(time=time, seq=next(self._seq), callback=callback, label=label)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next event.  Returns False if queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self._processed += 1
+            if self._max_events is not None and self._processed > self._max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({self._max_events}); "
+                    "likely a protocol livelock"
+                )
+            ev.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the queue drains (or ``until`` is reached).
+
+        Returns the final simulated time.  When ``until`` is given, events
+        with timestamps strictly greater than it are left queued and the
+        clock is advanced to ``until``.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                self.step()
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False

@@ -1,0 +1,92 @@
+"""Event records for the underlying communication system.
+
+Section II-B of the paper defines six kinds of events generated at each
+site by the read/write operations of the application processes:
+
+* ``send`` — invocation of the ``Multicast(m)`` primitive,
+* ``fetch`` — invocation of the ``RemoteFetch(m)`` primitive,
+* ``receipt`` — arrival of a message at a site,
+* ``apply`` — local application of a write's value,
+* ``remote_return`` — a replica answering a remote read,
+* ``return`` — completion of a read at the issuing site.
+
+These records are not required for the protocols to function; they form
+the observable execution trace consumed by :mod:`repro.verify` (causal
+consistency checking) and by :mod:`repro.workload.traces` (export/replay
+and debugging).  Keeping them as plain frozen dataclasses makes traces
+cheap to record and trivially serializable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["EventKind", "EventRecord"]
+
+
+class EventKind(enum.Enum):
+    """The six event kinds of Section II-B, plus operation markers."""
+
+    SEND = "send"
+    FETCH = "fetch"
+    RECEIPT = "receipt"
+    APPLY = "apply"
+    REMOTE_RETURN = "remote_return"
+    RETURN = "return"
+    # Operation-level markers (application subsystem), used by the
+    # verifier to reconstruct program order.
+    WRITE_OP = "write_op"
+    READ_OP = "read_op"
+
+
+@dataclass(frozen=True, slots=True)
+class EventRecord:
+    """One timestamped event in the execution trace.
+
+    ``write_id`` identifies a write operation globally as
+    ``(writer site, writer local clock)``; reads carry the ``write_id`` of
+    the write whose value they returned (``None`` for the initial value
+    |bot|), which materializes the read-from order for the checker.
+    """
+
+    kind: EventKind
+    time: float
+    site: int
+    var: Optional[int] = None
+    value: object = None
+    write_id: Optional[tuple[int, int]] = None
+    op_index: Optional[int] = None
+    peer: Optional[int] = None
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by the JSON trace exporter."""
+        return {
+            "kind": self.kind.value,
+            "time": self.time,
+            "site": self.site,
+            "var": self.var,
+            "value": self.value,
+            "write_id": list(self.write_id) if self.write_id is not None else None,
+            "op_index": self.op_index,
+            "peer": self.peer,
+            "detail": self.detail,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "EventRecord":
+        """Inverse of :meth:`as_dict` (trace replay)."""
+        wid = data.get("write_id")
+        return EventRecord(
+            kind=EventKind(data["kind"]),
+            time=float(data["time"]),
+            site=int(data["site"]),
+            var=data.get("var"),
+            value=data.get("value"),
+            write_id=tuple(wid) if wid is not None else None,
+            op_index=data.get("op_index"),
+            peer=data.get("peer"),
+            detail=data.get("detail", ""),
+        )

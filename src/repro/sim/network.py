@@ -1,0 +1,301 @@
+"""Reliable FIFO message-passing network.
+
+Models the paper's communication substrate (Section IV): sites connected
+pairwise by reliable TCP channels that deliver without loss, duplication,
+or reordering *within a channel*.  Messages on different channels are
+mutually unordered — that asynchrony is exactly what the protocols'
+activation predicates must tolerate, so the latency model matters for
+exercising them even though message *counts and sizes* are latency-free.
+
+Latency models are pluggable.  FIFO order is enforced structurally: if a
+sampled latency would overtake the channel's previous delivery, delivery
+is pushed just after it (TCP would have done the same via in-order byte
+streams).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .engine import Simulator
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "PerPairLatency",
+    "AdversarialLatency",
+    "Network",
+    "ChannelStats",
+]
+
+#: Minimum spacing used to keep FIFO deliveries strictly ordered.
+FIFO_EPSILON = 1e-9
+
+
+class LatencyModel(abc.ABC):
+    """Strategy object producing one-way delays (ms) per message."""
+
+    @abc.abstractmethod
+    def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        """Return the one-way network delay in milliseconds for one message."""
+
+    def local_delay(self) -> float:
+        """Delay for a site messaging itself (loopback); effectively zero."""
+        return 0.0
+
+
+@dataclass(frozen=True)
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``delay_ms``.  Good for exact tests."""
+
+    delay_ms: float = 50.0
+
+    def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        return self.delay_ms
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Delay uniform in [low_ms, high_ms] — the default WAN-ish model."""
+
+    low_ms: float = 10.0
+    high_ms: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low_ms <= self.high_ms:
+            raise ValueError(f"invalid latency range [{self.low_ms}, {self.high_ms}]")
+
+    def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low_ms, self.high_ms))
+
+
+@dataclass(frozen=True)
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed delays (median ``median_ms``, shape ``sigma``).
+
+    Approximates TCP retransmission spikes ("slow start" effects the
+    paper mentions) without modelling TCP itself.
+    """
+
+    median_ms: float = 40.0
+    sigma: float = 0.6
+
+    def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        return float(self.median_ms * np.exp(rng.normal(0.0, self.sigma)))
+
+
+class PerPairLatency(LatencyModel):
+    """Deterministic per-pair base delays plus optional uniform jitter.
+
+    ``matrix[i][j]`` is the base one-way delay from site i to site j;
+    useful for modelling geo-distributed topologies where some replica
+    pairs are much farther apart than others.
+    """
+
+    def __init__(self, matrix: Sequence[Sequence[float]], jitter_ms: float = 0.0) -> None:
+        self._matrix = np.asarray(matrix, dtype=float)
+        if self._matrix.ndim != 2 or self._matrix.shape[0] != self._matrix.shape[1]:
+            raise ValueError("latency matrix must be square")
+        if (self._matrix < 0).any():
+            raise ValueError("latencies must be non-negative")
+        if jitter_ms < 0:
+            raise ValueError("jitter must be non-negative")
+        self._jitter = jitter_ms
+
+    @property
+    def n(self) -> int:
+        return self._matrix.shape[0]
+
+    def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        base = float(self._matrix[src, dst])
+        if self._jitter:
+            base += float(rng.uniform(0.0, self._jitter))
+        return base
+
+
+@dataclass(frozen=True)
+class AdversarialLatency(LatencyModel):
+    """Wildly varying delays designed to maximize cross-channel reordering.
+
+    Used by fault-injection style tests: with delays spanning three orders
+    of magnitude, multicast copies of causally related writes routinely
+    arrive "backwards", so every activation-predicate code path gets
+    exercised.
+    """
+
+    low_ms: float = 1.0
+    high_ms: float = 1000.0
+
+    def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        # Log-uniform: most mass at the extremes of reordering behaviour.
+        lo, hi = np.log(self.low_ms), np.log(self.high_ms)
+        return float(np.exp(rng.uniform(lo, hi)))
+
+
+@dataclass
+class ChannelStats:
+    """Bookkeeping per directed channel (src, dst)."""
+
+    messages: int = 0
+    last_delivery: float = -1.0
+
+
+class Network:
+    """Reliable FIFO transport layered on the event kernel.
+
+    ``send`` delivers a single message; ``multicast`` fans out to a
+    destination set (one independent unicast per destination, as in the
+    paper's ``Multicast(m)`` primitive — there is no network-level
+    broadcast).  Receivers are callbacks registered per site.
+
+    With ``bandwidth_bytes_per_ms`` set, message *size* costs time: each
+    sender has one uplink that serializes its transmissions (a message
+    occupies the uplink for ``size / bandwidth`` ms before its one-way
+    propagation delay starts), so a 13 KB Full-Track matrix delays not
+    only itself but every message queued behind it — the mechanism by
+    which metadata size becomes latency.  The default (``None``) is the
+    paper's model: size never affects timing.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_sites: int,
+        latency: Optional[LatencyModel] = None,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        bandwidth_bytes_per_ms: Optional[float] = None,
+    ) -> None:
+        if n_sites <= 0:
+            raise ValueError("network needs at least one site")
+        if bandwidth_bytes_per_ms is not None and bandwidth_bytes_per_ms <= 0:
+            raise ValueError("bandwidth must be positive (or None for infinite)")
+        self.sim = sim
+        self.n_sites = n_sites
+        self.latency = latency if latency is not None else UniformLatency()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.bandwidth = bandwidth_bytes_per_ms
+        # per-sender uplink: simulated time until which it is occupied
+        self._uplink_busy_until: dict[int, float] = {}
+        self._receivers: dict[int, Callable[[int, object], None]] = {}
+        self._channels: dict[tuple[int, int], ChannelStats] = {}
+        self.total_messages = 0
+        # fault injection: paused sites hold their inbound deliveries
+        # (per-channel FIFO preserved) until resumed
+        self._paused: set[int] = set()
+        self._held: dict[int, list[tuple[int, object]]] = {}
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def pause_site(self, site: int) -> None:
+        """Stop delivering to ``site`` (a stalled process / GC pause).
+
+        Messages destined to it are held in arrival order and flushed on
+        :meth:`resume_site`; FIFO per channel is preserved because the
+        hold queue keeps the delivery order the channels established.
+        Outbound traffic from the site is unaffected (the paper's model
+        has no crash-stop — processes are slow, not faulty).
+        """
+        self._check_site(site)
+        self._paused.add(site)
+        self._held.setdefault(site, [])
+
+    def resume_site(self, site: int) -> None:
+        """Deliver everything held for ``site`` and resume normal flow."""
+        self._check_site(site)
+        if site not in self._paused:
+            return
+        self._paused.discard(site)
+        held = self._held.pop(site, [])
+        receiver = self._receivers.get(site)
+        if receiver is None and held:
+            raise RuntimeError(f"no receiver registered for site {site}")
+        for src, message in held:
+            receiver(src, message)
+
+    def is_paused(self, site: int) -> bool:
+        return site in self._paused
+
+    def held_count(self, site: int) -> int:
+        """Messages currently held for a paused site."""
+        return len(self._held.get(site, ()))
+
+    # ------------------------------------------------------------------
+    def register(self, site: int, receiver: Callable[[int, object], None]) -> None:
+        """Attach the receive callback for ``site``: ``receiver(src, msg)``."""
+        self._check_site(site)
+        self._receivers[site] = receiver
+
+    def _check_site(self, site: int) -> None:
+        if not 0 <= site < self.n_sites:
+            raise ValueError(f"site {site} out of range [0, {self.n_sites})")
+
+    def channel_stats(self, src: int, dst: int) -> ChannelStats:
+        """Stats for the directed channel ``src -> dst`` (created lazily)."""
+        key = (src, dst)
+        st = self._channels.get(key)
+        if st is None:
+            st = self._channels[key] = ChannelStats()
+        return st
+
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, message: object,
+             *, size_bytes: float = 0.0) -> float:
+        """Send one message; returns its scheduled delivery time (ms).
+
+        FIFO per channel: a message never overtakes an earlier message on
+        the same (src, dst) channel, whatever the sampled latencies say.
+        Under a finite bandwidth, ``size_bytes`` first occupies the
+        sender's uplink (serialized across ALL of the sender's outgoing
+        messages), then the propagation delay applies.
+        """
+        self._check_site(src)
+        self._check_site(dst)
+        departure = self.sim.now
+        if self.bandwidth is not None and size_bytes > 0:
+            start = max(departure, self._uplink_busy_until.get(src, 0.0))
+            departure = start + size_bytes / self.bandwidth
+            self._uplink_busy_until[src] = departure
+        if src == dst:
+            delay = self.latency.local_delay()
+        else:
+            delay = self.latency.sample(src, dst, self.rng)
+        stats = self.channel_stats(src, dst)
+        delivery = max(departure + delay, stats.last_delivery + FIFO_EPSILON)
+        stats.last_delivery = delivery
+        stats.messages += 1
+        self.total_messages += 1
+
+        def _deliver() -> None:
+            if dst in self._paused:
+                self._held[dst].append((src, message))
+                return
+            receiver = self._receivers.get(dst)
+            if receiver is None:
+                raise RuntimeError(f"no receiver registered for site {dst}")
+            receiver(src, message)
+
+        self.sim.schedule_at(delivery, _deliver, label=f"deliver {src}->{dst}")
+        return delivery
+
+    def multicast(self, src: int, dests: Sequence[int], message_for: Callable[[int], object]) -> int:
+        """Unicast ``message_for(dst)`` to each destination except ``src``.
+
+        The per-destination factory supports protocols (Opt-Track) whose
+        piggybacked metadata is pruned differently per destination.
+        Returns the number of messages actually sent.
+        """
+        sent = 0
+        for dst in dests:
+            if dst == src:
+                continue
+            self.send(src, dst, message_for(dst))
+            sent += 1
+        return sent

@@ -1,0 +1,99 @@
+"""The per-site application process (application subsystem).
+
+Section IV-A: each site hosts one application process made of an
+*application subsystem* that fires the pre-planned operation schedule
+and a *message receipt subsystem* that reacts to the network.  In this
+implementation the protocol object IS the message receipt subsystem
+(wired to the network by the runner); :class:`Site` is the application
+subsystem.
+
+Execution is sequential per process, as for a real client thread:
+operation k starts at ``max(planned time, completion of operation
+k-1)``.  Writes complete immediately (the multicast is asynchronous);
+local reads complete synchronously; remote reads block the process until
+the (causally gated) remote return arrives.  A site that exhausts its
+schedule flags itself finished; the simulation ends when every site is
+finished *and* all in-flight messages have drained.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..memory.store import WriteId
+from ..workload.schedule import SiteSchedule
+from .engine import Simulator
+
+if TYPE_CHECKING:  # avoid a runtime cycle: core.base imports sim.engine
+    from ..core.base import CausalProtocol
+
+__all__ = ["Site"]
+
+
+class Site:
+    """Application subsystem executing one site's operation schedule."""
+
+    def __init__(
+        self,
+        protocol: "CausalProtocol",
+        schedule: SiteSchedule,
+        sim: Simulator,
+        *,
+        on_operation: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if protocol.site != schedule.site:
+            raise ValueError(
+                f"protocol is for site {protocol.site}, schedule for {schedule.site}"
+            )
+        self.protocol = protocol
+        self.schedule = schedule
+        self.sim = sim
+        #: invoked with the site id as each operation *starts*; the
+        #: runner uses it to open the metrics window after warm-up
+        self.on_operation = on_operation
+        self._next_index = 0
+        self.finished = len(schedule) == 0
+        self.completed_ops = 0
+        self._started = False
+
+    @property
+    def site_id(self) -> int:
+        return self.schedule.site
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the first scheduled operation."""
+        if self._started:
+            raise RuntimeError(f"site {self.site_id} already started")
+        self._started = True
+        if not self.finished:
+            first_time, _ = self.schedule.items[0]
+            self.sim.schedule_at(first_time, self._execute_next,
+                                 label=f"site{self.site_id} op0")
+
+    # ------------------------------------------------------------------
+    def _execute_next(self) -> None:
+        index = self._next_index
+        self._next_index += 1
+        _, op = self.schedule.items[index]
+        if self.on_operation is not None:
+            self.on_operation(self.site_id)
+        if op.is_write:
+            self.protocol.write(op.var, op.value, op_index=index)
+            self._operation_done()
+        else:
+            def _on_read(value: object, write_id: Optional[WriteId],
+                         was_remote: bool) -> None:
+                self._operation_done()
+            self.protocol.read(op.var, _on_read, op_index=index)
+
+    def _operation_done(self) -> None:
+        """Completion continuation: arm the next operation or finish."""
+        self.completed_ops += 1
+        if self._next_index >= len(self.schedule):
+            self.finished = True
+            return
+        planned, _ = self.schedule.items[self._next_index]
+        start = max(planned, self.sim.now)
+        self.sim.schedule_at(start, self._execute_next,
+                             label=f"site{self.site_id} op{self._next_index}")

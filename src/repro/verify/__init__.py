@@ -1,0 +1,33 @@
+"""Causal-consistency verification over recorded execution histories."""
+
+from .causal_checker import (
+    CausalityViolation,
+    CheckReport,
+    check_causal_consistency,
+)
+from .convergence import ConvergenceReport, check_convergence, divergent_variables
+from .graph import causality_graph
+from .history import HistoryRecorder
+from .sessions import (
+    check_all_session_guarantees,
+    check_monotonic_reads,
+    check_monotonic_writes,
+    check_read_your_writes,
+    check_writes_follow_reads,
+)
+
+__all__ = [
+    "HistoryRecorder",
+    "causality_graph",
+    "check_causal_consistency",
+    "CausalityViolation",
+    "CheckReport",
+    "check_all_session_guarantees",
+    "check_read_your_writes",
+    "check_monotonic_reads",
+    "check_monotonic_writes",
+    "check_writes_follow_reads",
+    "check_convergence",
+    "ConvergenceReport",
+    "divergent_variables",
+]

@@ -1,0 +1,86 @@
+"""Causality-order graph construction.
+
+The causality order ->co of Section II-A is the transitive closure of
+program order (per-process operation sequence) united with read-from
+order (a read is ordered after the write whose value it returned).  This
+module materializes that order as a ``networkx`` DiGraph over operation
+nodes, which the checker — and any analysis interested in causal
+structure (depth, fan-out, concurrency width) — can then traverse.
+
+Node naming:
+
+* a write is ``("w", site, clock)`` — its globally unique write id;
+* a read is ``("r", site, k)`` — the k-th *operation* of that site.
+
+Every node carries ``site``, ``var``, and (for reads) the ``rf`` write id
+it returned, as attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from ..sim.events import EventKind
+from .history import HistoryRecorder
+
+__all__ = ["causality_graph", "write_node", "read_node"]
+
+
+def write_node(site: int, clock: int) -> tuple:
+    return ("w", site, clock)
+
+
+def read_node(site: int, k: int) -> tuple:
+    return ("r", site, k)
+
+
+def causality_graph(history: HistoryRecorder) -> nx.DiGraph:
+    """Build the po ∪ rf edge relation (whose closure is ->co).
+
+    Operations are taken in each site's recorded order, which equals
+    program order because application processes are sequential.  The
+    graph also receives an ``op_node`` index attribute mapping
+    (site, per-site op position) -> node, used by the checker.
+    """
+    g = nx.DiGraph()
+    per_site_ops: dict[int, list[Hashable]] = {}
+
+    # first pass: create nodes in program order
+    per_site_count: dict[int, int] = {}
+    for ev in history.operations():
+        k = per_site_count.get(ev.site, 0)
+        per_site_count[ev.site] = k + 1
+        if ev.kind is EventKind.WRITE_OP:
+            node = write_node(*ev.write_id)  # type: ignore[misc]
+            g.add_node(node, site=ev.site, var=ev.var, kind="w", value=ev.value)
+        else:
+            node = read_node(ev.site, k)
+            g.add_node(
+                node, site=ev.site, var=ev.var, kind="r",
+                rf=ev.write_id, value=ev.value,
+            )
+        per_site_ops.setdefault(ev.site, []).append(node)
+
+    # program-order edges
+    for ops in per_site_ops.values():
+        for a, b in zip(ops, ops[1:]):
+            g.add_edge(a, b, order="po")
+
+    # read-from edges
+    for node, data in list(g.nodes(data=True)):
+        if data["kind"] == "r" and data["rf"] is not None:
+            w = write_node(*data["rf"])
+            if w not in g:
+                raise ValueError(
+                    f"read {node} returned unknown write id {data['rf']}"
+                )
+            if g.nodes[w]["var"] != data["var"]:
+                raise ValueError(
+                    f"read {node} of var {data['var']} returned a write to "
+                    f"var {g.nodes[w]['var']}"
+                )
+            g.add_edge(w, node, order="rf")
+
+    return g

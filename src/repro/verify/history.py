@@ -1,0 +1,154 @@
+"""Execution-history recording.
+
+The verifier needs three relations out of a run:
+
+* **program order** — per-site sequence of read/write operations;
+* **read-from order** — which write each read returned (via write ids);
+* **apply order** — per-site sequence in which update messages were
+  locally applied (to check the activation predicates did their job).
+
+:class:`HistoryRecorder` accumulates :class:`~repro.sim.events.EventRecord`
+rows for all of these.  Recording is optional (``enabled=False`` turns
+every method into a no-op) so large benchmark runs pay nothing for it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..memory.store import WriteId
+from ..sim.events import EventKind, EventRecord
+
+__all__ = ["HistoryRecorder"]
+
+
+class HistoryRecorder:
+    """Accumulates the observable events of one simulation run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: list[EventRecord] = []
+
+    # ------------------------------------------------------------------
+    def record_write_op(
+        self,
+        *,
+        time: float,
+        site: int,
+        var: int,
+        value: object,
+        write_id: WriteId,
+        op_index: Optional[int] = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.events.append(
+            EventRecord(
+                kind=EventKind.WRITE_OP,
+                time=time,
+                site=site,
+                var=var,
+                value=value,
+                write_id=write_id.as_tuple(),
+                op_index=op_index,
+            )
+        )
+
+    def record_read_op(
+        self,
+        *,
+        time: float,
+        site: int,
+        var: int,
+        value: object,
+        write_id: Optional[WriteId],
+        op_index: Optional[int] = None,
+        remote: bool = False,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.events.append(
+            EventRecord(
+                kind=EventKind.READ_OP,
+                time=time,
+                site=site,
+                var=var,
+                value=value,
+                write_id=write_id.as_tuple() if write_id is not None else None,
+                op_index=op_index,
+                detail="remote" if remote else "local",
+            )
+        )
+
+    def record_apply(
+        self,
+        *,
+        time: float,
+        site: int,
+        var: int,
+        write_id: WriteId,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.events.append(
+            EventRecord(
+                kind=EventKind.APPLY,
+                time=time,
+                site=site,
+                var=var,
+                write_id=write_id.as_tuple(),
+            )
+        )
+
+    def record_send(self, *, time: float, site: int, peer: int, detail: str = "") -> None:
+        if not self.enabled:
+            return
+        self.events.append(
+            EventRecord(kind=EventKind.SEND, time=time, site=site, peer=peer, detail=detail)
+        )
+
+    def record_fetch(self, *, time: float, site: int, peer: int, var: int) -> None:
+        if not self.enabled:
+            return
+        self.events.append(
+            EventRecord(kind=EventKind.FETCH, time=time, site=site, peer=peer, var=var)
+        )
+
+    def record_remote_return(self, *, time: float, site: int, peer: int, var: int) -> None:
+        if not self.enabled:
+            return
+        self.events.append(
+            EventRecord(kind=EventKind.REMOTE_RETURN, time=time, site=site, peer=peer, var=var)
+        )
+
+    # ------------------------------------------------------------------
+    # views used by the checker
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: EventKind) -> list[EventRecord]:
+        return [e for e in self.events if e.kind is kind]
+
+    def operations(self, site: Optional[int] = None) -> list[EventRecord]:
+        """Read/write operations, in recording (== completion-time) order."""
+        ops = [
+            e
+            for e in self.events
+            if e.kind in (EventKind.WRITE_OP, EventKind.READ_OP)
+            and (site is None or e.site == site)
+        ]
+        return ops
+
+    def applies_at(self, site: int) -> list[EventRecord]:
+        return [e for e in self.events if e.kind is EventKind.APPLY and e.site == site]
+
+    def writes(self) -> list[EventRecord]:
+        return self.of_kind(EventKind.WRITE_OP)
+
+    def reads(self) -> list[EventRecord]:
+        return self.of_kind(EventKind.READ_OP)
+
+    def extend(self, events: Iterable[EventRecord]) -> None:
+        if self.enabled:
+            self.events.extend(events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,26 @@
+"""Workload generation: the paper's pre-planned operation schedules."""
+
+from .generator import (
+    PAPER_GAP_RANGE_MS,
+    PAPER_N_VARS,
+    PAPER_OPS_PER_PROCESS,
+    WorkloadParams,
+    decode_value,
+    encode_value,
+    generate_workload,
+)
+from .schedule import Operation, OpKind, SiteSchedule, Workload
+
+__all__ = [
+    "Operation",
+    "OpKind",
+    "SiteSchedule",
+    "Workload",
+    "WorkloadParams",
+    "generate_workload",
+    "encode_value",
+    "decode_value",
+    "PAPER_OPS_PER_PROCESS",
+    "PAPER_GAP_RANGE_MS",
+    "PAPER_N_VARS",
+]

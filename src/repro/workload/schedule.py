@@ -1,0 +1,122 @@
+"""Operation schedules — the paper's pre-planned event schedules.
+
+Section IV-C: "All the processes in the system are symmetric and
+generate operation events (write event or read event) according to a
+event schedule planned in advance.  The event schedule is randomly
+generated.  The time interval between two events is given from 5ms to
+2005ms."
+
+A :class:`Workload` is one such plan: per site, a list of
+(planned time, operation) pairs.  Schedules are pure data — generation
+lives in :mod:`repro.workload.generator`, execution in
+:mod:`repro.sim.process` — so the same workload can be replayed against
+every protocol (exactly how the paper compares Opt-Track against
+Opt-Track-CRP "running the same operation event scheduling" in Table IV).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["OpKind", "Operation", "SiteSchedule", "Workload"]
+
+
+class OpKind(enum.Enum):
+    WRITE = "w"
+    READ = "r"
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """One application operation: w(x_var)value or r(x_var)."""
+
+    kind: OpKind
+    var: int
+    value: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is OpKind.WRITE and self.value is None:
+            raise ValueError("write operations need a value")
+        if self.kind is OpKind.READ and self.value is not None:
+            raise ValueError("read operations take no value")
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is OpKind.WRITE
+
+
+@dataclass(frozen=True, slots=True)
+class SiteSchedule:
+    """The timed operation list of one application process."""
+
+    site: int
+    items: tuple[tuple[float, Operation], ...]
+
+    def __post_init__(self) -> None:
+        last = -1.0
+        for t, _ in self.items:
+            if t < 0:
+                raise ValueError("operation times must be non-negative")
+            if t < last:
+                raise ValueError("schedule times must be non-decreasing")
+            last = t
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[tuple[float, Operation]]:
+        return iter(self.items)
+
+    @property
+    def write_count(self) -> int:
+        return sum(1 for _, op in self.items if op.is_write)
+
+    @property
+    def read_count(self) -> int:
+        return len(self.items) - self.write_count
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A complete pre-planned run: one schedule per site."""
+
+    schedules: tuple[SiteSchedule, ...]
+    n_vars: int
+    #: the write-rate parameter the generator targeted (actual rates vary
+    #: by sampling; see :meth:`actual_write_rate`)
+    target_write_rate: float = field(default=0.0)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for i, sched in enumerate(self.schedules):
+            if sched.site != i:
+                raise ValueError(f"schedule {i} labelled with site {sched.site}")
+            for _, op in sched.items:
+                if not 0 <= op.var < self.n_vars:
+                    raise ValueError(f"operation touches var {op.var} >= q={self.n_vars}")
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.schedules)
+
+    @property
+    def total_operations(self) -> int:
+        return sum(len(s) for s in self.schedules)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(s.write_count for s in self.schedules)
+
+    @property
+    def total_reads(self) -> int:
+        return sum(s.read_count for s in self.schedules)
+
+    def actual_write_rate(self) -> float:
+        """w / (w + r) as realized by the sampled schedule."""
+        total = self.total_operations
+        return self.total_writes / total if total else 0.0
+
+    def for_site(self, site: int) -> SiteSchedule:
+        return self.schedules[site]

@@ -1,0 +1,89 @@
+"""Tests for the replication advisor."""
+
+import pytest
+
+from repro.analysis.advisor import (
+    Recommendation,
+    WorkloadProfile,
+    recommend_replication,
+)
+
+
+class TestProfileValidation:
+    def test_needs_two_sites(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(n_sites=1, write_rate=0.5)
+
+    def test_write_rate_bounds(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(n_sites=5, write_rate=1.5)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(n_sites=5, write_rate=0.5, payload_bytes=-1)
+
+    def test_default_replication_factor_is_papers(self):
+        assert WorkloadProfile(n_sites=10, write_rate=0.5).p == 3
+        assert WorkloadProfile(n_sites=10, write_rate=0.5,
+                               replication_factor=5).p == 5
+
+
+class TestRecommendations:
+    def test_write_intensive_large_system_goes_partial(self):
+        rec = recommend_replication(WorkloadProfile(
+            n_sites=20, write_rate=0.7, payload_bytes=679_000,
+        ))
+        assert rec.replication == "partial"
+        assert rec.protocol == "opt-track"
+        assert rec.message_ratio < 1.0
+        assert rec.partial_transfer_bytes < rec.full_transfer_bytes
+
+    def test_read_heavy_tiny_system_goes_full(self):
+        rec = recommend_replication(WorkloadProfile(
+            n_sites=3, write_rate=0.1, payload_bytes=0.0,
+        ))
+        assert rec.replication == "full"
+        assert rec.protocol == "opt-track-crp"
+
+    def test_crossover_matches_eq2(self):
+        rec = recommend_replication(WorkloadProfile(n_sites=9, write_rate=0.5))
+        assert rec.crossover_write_rate == pytest.approx(0.2)
+
+    def test_storage_ledger(self):
+        rec = recommend_replication(WorkloadProfile(n_sites=10, write_rate=0.5))
+        assert rec.storage_copies_partial == 3
+        assert rec.storage_copies_full == 10
+        assert rec.remote_read_fraction == pytest.approx(0.7)
+
+    def test_rationale_mentions_eq2(self):
+        rec = recommend_replication(WorkloadProfile(n_sites=10, write_rate=0.5))
+        assert any("eq. (2)" in line for line in rec.rationale)
+
+    def test_payload_tilts_split_decisions(self):
+        # just below the count threshold, a huge payload still makes
+        # partial replication the cheaper transfer choice
+        n = 5
+        profile = WorkloadProfile(n_sites=n, write_rate=0.30,
+                                  payload_bytes=679_000)
+        rec = recommend_replication(profile)
+        assert rec.crossover_write_rate == pytest.approx(1 / 3)
+        # count criterion says full; transfer criterion decides
+        if rec.partial_transfer_bytes < rec.full_transfer_bytes:
+            assert rec.replication == "partial"
+            assert any("split" in line for line in rec.rationale)
+
+    def test_message_counts_consistent_with_models(self):
+        from repro.analysis.model import (
+            full_replication_message_count,
+            partial_replication_message_count,
+        )
+
+        profile = WorkloadProfile(n_sites=12, write_rate=0.4, operations=500)
+        rec = recommend_replication(profile)
+        assert rec.partial_messages == pytest.approx(
+            partial_replication_message_count(12, profile.p,
+                                              profile.writes, profile.reads)
+        )
+        assert rec.full_messages == pytest.approx(
+            full_replication_message_count(12, profile.writes)
+        )

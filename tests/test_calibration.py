@@ -1,0 +1,85 @@
+"""Tests for the size-model calibration tooling."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import (
+    PAPER_FULL_TRACK_SM_REFERENCE,
+    PAPER_OPTP_REFERENCE,
+    fit_full_track_envelope,
+    fit_linear,
+    fit_optp_envelope,
+    verify_default_calibration,
+)
+from repro.metrics.sizing import DEFAULT_SIZE_MODEL, SizeModel
+
+
+class TestFitLinear:
+    def test_exact_line_recovered(self):
+        fit = fit_linear([1, 2, 3, 4], [12, 14, 16, 18])
+        assert fit.intercept == pytest.approx(10.0)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.residual_rms == pytest.approx(0.0, abs=1e-9)
+
+    def test_prediction(self):
+        fit = fit_linear([0, 10], [5, 25])
+        assert fit.predict(5) == pytest.approx(15.0)
+
+    def test_noise_reported(self):
+        rng = np.random.default_rng(0)
+        xs = np.arange(20.0)
+        ys = 3.0 + 2.0 * xs + rng.normal(0, 0.5, 20)
+        fit = fit_linear(xs, ys)
+        assert fit.slope == pytest.approx(2.0, abs=0.1)
+        assert fit.residual_rms > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [2])
+        with pytest.raises(ValueError):
+            fit_linear([1, 2], [1, 2, 3])
+
+
+class TestPaperFits:
+    def test_optp_fit_is_exact_209_plus_10n(self):
+        fit = fit_optp_envelope()
+        assert fit.intercept == pytest.approx(209.0, abs=1e-6)
+        assert fit.slope == pytest.approx(10.0, abs=1e-6)
+        assert fit.max_relative_error < 1e-9
+
+    def test_full_track_fit_near_8_bytes_per_cell(self):
+        fit = fit_full_track_envelope()
+        assert fit.slope == pytest.approx(8.0, rel=0.25)
+        assert 0 < fit.intercept < 600
+        # the paper's sizes carry a linear component on top of the pure
+        # quadratic (serialization per-row overhead), so the one-term fit
+        # leaves real residuals at small n
+        assert fit.max_relative_error < 0.3
+
+    def test_defaults_match_fits(self):
+        # the shipped constants are the fitted values (optP exactly; the
+        # Full-Track envelope rounded to anchor the n=5 cell)
+        opt = fit_optp_envelope()
+        m = DEFAULT_SIZE_MODEL
+        assert m.sm_optp(5) == pytest.approx(opt.predict(5))
+        assert m.sm_optp(40) == pytest.approx(opt.predict(40))
+        ft = fit_full_track_envelope()
+        # at large n the quadratic term dominates and the shipped model
+        # agrees with the fit; at small n the model anchors the paper's
+        # n=5 cell directly instead (see verify_default_calibration)
+        assert m.sm_full_track(40) == pytest.approx(ft.predict(1600), rel=0.08)
+
+
+class TestCalibrationContract:
+    def test_default_model_errors(self):
+        errors = verify_default_calibration()
+        for key, err in errors.items():
+            if key.startswith("optp"):
+                assert err == 0.0, key          # exact by construction
+            else:
+                assert err < 0.11, (key, err)   # Full-Track within 11%
+
+    def test_custom_model_report(self):
+        worse = SizeModel(matrix_entry=4)
+        errors = verify_default_calibration(worse)
+        assert errors["full_track_n40"] > 0.4  # halved cells: far off

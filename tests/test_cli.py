@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "opt-track"
+        assert args.sites == 10
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "bogus"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "opt-track" in out and "fig1" in out and "table4" in out
+
+    def test_run_small(self, capsys):
+        rc = main(["run", "-n", "3", "--ops", "15", "--protocol", "optp"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SM_count" in out
+
+    def test_run_with_check(self, capsys):
+        rc = main(["run", "-n", "3", "--ops", "15", "--protocol", "opt-track",
+                   "--check", "--latency", "adversarial"])
+        assert rc == 0
+        assert "causal consistency: OK" in capsys.readouterr().out
+
+    def test_check_command(self, capsys):
+        rc = main(["check", "-n", "4", "--ops", "20", "--protocol", "full-track"])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_analytic(self, capsys):
+        rc = main(["analytic", "-n", "20", "-w", "0.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "opt-track-crp" in out and "partial message count" in out
+
+    def test_crossover(self, capsys):
+        rc = main(["crossover", "--max-n", "10"])
+        assert rc == 0
+        assert "0.667" in capsys.readouterr().out
+
+    def test_experiment_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "out.csv"
+        rc = main(["experiment", "eq2", "--ops", "12", "--csv", str(csv_path)])
+        assert rc == 0
+        text = csv_path.read_text()
+        assert "write_rate" in text.splitlines()[0]
+        assert len(text.splitlines()) > 5
+
+    def test_experiment_fig1_tiny(self, capsys):
+        rc = main(["experiment", "fig1", "--ops", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out

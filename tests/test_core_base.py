@@ -1,0 +1,174 @@
+"""Tests for the protocol framework: registry, drain loop, metered sends."""
+
+import numpy as np
+import pytest
+
+from repro import ConstantLatency
+from repro.core.base import (
+    CausalProtocol,
+    ProtocolContext,
+    create_protocol,
+    get_protocol_class,
+    protocol_names,
+    register_protocol,
+)
+from repro.core.opt_track import OptTrackNoPruneProtocol, OptTrackProtocol
+from repro.memory.replication import RoundRobinPlacement, full_replication
+from repro.memory.store import SiteStore
+from repro.metrics.collector import MessageKind, MetricsCollector
+from repro.metrics.sizing import DEFAULT_SIZE_MODEL
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+
+def make_ctx(site=0, n=3, placement=None):
+    placement = placement or full_replication(n, 4)
+    sim = Simulator()
+    net = Network(sim, n, ConstantLatency(5.0))
+    return ProtocolContext(
+        site=site, n_sites=n, placement=placement,
+        store=SiteStore(site, placement.vars_at(site)),
+        network=net, sim=sim, collector=MetricsCollector(),
+        size_model=DEFAULT_SIZE_MODEL,
+    )
+
+
+class TestRegistry:
+    def test_all_protocols_registered(self):
+        names = protocol_names()
+        for expected in ("full-track", "opt-track", "opt-track-crp", "optp",
+                         "opt-track-noprune"):
+            assert expected in names
+
+    def test_create_by_name(self):
+        proto = create_protocol("optp", make_ctx())
+        assert proto.name == "optp"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown protocol"):
+            get_protocol_class("nope")
+
+    def test_duplicate_registration_rejected(self):
+        class Fake(CausalProtocol):  # pragma: no cover - never instantiated
+            name = "optp"
+
+            def write(self, var, value, *, op_index=None): ...
+            def _local_read(self, var): ...
+            def _serve_fetch(self, src, message): ...
+            def _is_rm(self, message): ...
+            def _sm_ready(self, src, message): ...
+            def _apply_sm(self, src, message): ...
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register_protocol(Fake)
+
+    def test_noprune_variant_flags(self):
+        assert OptTrackNoPruneProtocol.prune_on_send is False
+        assert OptTrackProtocol.prune_on_send is True
+        assert issubclass(OptTrackNoPruneProtocol, OptTrackProtocol)
+
+
+class TestConstruction:
+    def test_full_replication_protocol_rejects_partial_placement(self):
+        placement = RoundRobinPlacement(3, 4, 1)
+        with pytest.raises(ValueError, match="full replication"):
+            create_protocol("optp", make_ctx(placement=placement))
+
+    def test_partial_protocol_accepts_any_placement(self):
+        placement = RoundRobinPlacement(3, 4, 1)
+        proto = create_protocol("opt-track", make_ctx(placement=placement))
+        assert proto.pending_count == 0
+
+    def test_repr(self):
+        proto = create_protocol("optp", make_ctx())
+        assert "site=0" in repr(proto)
+
+
+class TestDrainLoop:
+    def test_out_of_order_buffering_and_fixpoint(self):
+        """Deliver three causally chained CRP updates in reverse order:
+        the drain loop must buffer then apply all of them in one cascade."""
+        from repro.core.messages import CRPSM
+        from repro.memory.store import WriteId
+
+        ctx = make_ctx(site=1, n=3)
+        proto = create_protocol("opt-track-crp", ctx)
+        m1 = CRPSM(var=0, value="a", write_id=WriteId(0, 1), log=())
+        m2 = CRPSM(var=0, value="b", write_id=WriteId(0, 2), log=((0, 1),))
+        m3 = CRPSM(var=0, value="c", write_id=WriteId(0, 3), log=((0, 2),))
+        proto.on_message(0, m3)
+        assert proto.pending_count == 1   # blocked: FIFO gap
+        proto.on_message(0, m2)
+        assert proto.pending_count == 2   # still blocked on m1
+        proto.on_message(0, m1)
+        assert proto.pending_count == 0   # cascade applied everything
+        assert ctx.store.read(0).value == "c"
+        assert proto.applied.tolist() == [3, 0, 0]
+
+    def test_activation_delay_recorded_only_when_buffered(self):
+        from repro.core.messages import CRPSM
+        from repro.memory.store import WriteId
+
+        ctx = make_ctx(site=1, n=3)
+        ctx.collector.start_measuring()
+        proto = create_protocol("opt-track-crp", ctx)
+        # applicable immediately: no delay sample
+        proto.on_message(0, CRPSM(var=0, value="a", write_id=WriteId(0, 1), log=()))
+        assert ctx.collector.activation_delays.count == 0
+        # blocked message that unblocks later at a later sim time
+        proto.on_message(0, CRPSM(var=0, value="c", write_id=WriteId(0, 3), log=()))
+        ctx.sim.schedule(10.0, lambda: proto.on_message(
+            0, CRPSM(var=0, value="b", write_id=WriteId(0, 2), log=())
+        ))
+        ctx.sim.run()
+        assert ctx.collector.activation_delays.count == 1
+        assert ctx.collector.activation_delays.mean == pytest.approx(10.0)
+
+    def test_send_records_metrics(self):
+        ctx = make_ctx(site=0, n=3)
+        ctx.collector.start_measuring()
+        proto = create_protocol("optp", ctx)
+        # receivers needed for delivery
+        ctx.network.register(1, lambda s, m: None)
+        ctx.network.register(2, lambda s, m: None)
+        proto.write(0, "v")
+        tally = ctx.collector.tally(MessageKind.SM)
+        assert tally.count == 2
+        assert tally.mean_bytes == DEFAULT_SIZE_MODEL.sm_optp(3)
+
+
+class TestVisibilityMetric:
+    def test_visibility_lag_measured(self):
+        from repro import SimulationConfig, run_simulation
+
+        cfg = SimulationConfig(protocol="optp", n_sites=4, n_vars=6,
+                               write_rate=0.5, ops_per_process=30, seed=0,
+                               latency=ConstantLatency(40.0),
+                               warmup_fraction=0.0)
+        result = run_simulation(cfg)
+        lags = result.collector.visibility_lags
+        assert lags.count > 0
+        # constant 40 ms network, no gating stalls: every lag is exactly 40
+        assert lags.minimum == pytest.approx(40.0, abs=1e-6)
+        assert lags.maximum == pytest.approx(40.0, abs=1e-3)
+
+    def test_visibility_excludes_local_applies(self):
+        from repro import SimulationConfig, run_simulation
+
+        cfg = SimulationConfig(protocol="optp", n_sites=3, n_vars=6,
+                               write_rate=1.0, ops_per_process=20, seed=0,
+                               warmup_fraction=0.0)
+        result = run_simulation(cfg)
+        writes = result.collector.ops_write
+        # each write is applied locally once (not counted) and remotely
+        # n-1 times (counted)
+        assert result.collector.visibility_lags.count == writes * 2
+
+    def test_summary_contains_visibility(self):
+        from repro import SimulationConfig, run_simulation
+
+        cfg = SimulationConfig(protocol="opt-track", n_sites=4, write_rate=0.5,
+                               ops_per_process=20, seed=0, warmup_fraction=0.0)
+        summary = run_simulation(cfg).summary()
+        assert summary["mean_visibility_ms"] > 0
+        assert summary["max_visibility_ms"] >= summary["mean_visibility_ms"]

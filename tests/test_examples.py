@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; breaking one silently is how
+quickstarts rot.  Each is run in-process (they all guard on
+``__name__ == "__main__"`` and expose ``main()``).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def load_module(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    module = load_module(path)
+    assert hasattr(module, "main"), f"{path.name} must expose main()"
+    if path.stem == "protocol_comparison":
+        module.main(6, 0.5)  # smaller n: keep the suite fast
+    else:
+        module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} produced no output"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "social_network", "protocol_comparison",
+            "geo_replicated_store", "fault_tolerance"} <= names

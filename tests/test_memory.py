@@ -1,0 +1,176 @@
+"""Unit tests for replica placement and the per-site variable store."""
+
+import numpy as np
+import pytest
+
+from repro.memory.replication import (
+    HashPlacement,
+    RandomPlacement,
+    RoundRobinPlacement,
+    full_replication,
+    paper_replication_factor,
+)
+from repro.memory.store import BOTTOM, SiteStore, WriteId
+
+
+class TestPaperReplicationFactor:
+    @pytest.mark.parametrize(
+        "n,expected", [(5, 2), (10, 3), (20, 6), (30, 9), (40, 12)]
+    )
+    def test_paper_values(self, n, expected):
+        # the factor implied by the paper's Table IV message counts
+        assert paper_replication_factor(n) == expected
+
+    def test_at_least_one(self):
+        assert paper_replication_factor(1) == 1
+        assert paper_replication_factor(2) == 1
+
+    def test_never_exceeds_n(self):
+        assert paper_replication_factor(3, fraction=1.0) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            paper_replication_factor(0)
+        with pytest.raises(ValueError):
+            paper_replication_factor(10, fraction=0.0)
+        with pytest.raises(ValueError):
+            paper_replication_factor(10, fraction=1.5)
+
+
+class TestRoundRobinPlacement:
+    def test_replica_count(self):
+        pl = RoundRobinPlacement(10, 30, 3)
+        for v in range(30):
+            assert len(pl.replicas(v)) == 3
+
+    def test_replicas_are_consecutive_ring_slots(self):
+        pl = RoundRobinPlacement(5, 10, 2)
+        assert set(pl.replicas(0)) == {0, 1}
+        assert set(pl.replicas(4)) == {4, 0}  # wraps
+
+    def test_even_load(self):
+        pl = RoundRobinPlacement(10, 100, 3)
+        counts = pl.load_balance()
+        assert counts.sum() == 300
+        assert counts.max() - counts.min() == 0  # q multiple of n: perfectly even
+
+    def test_nearly_even_load_when_q_not_multiple(self):
+        pl = RoundRobinPlacement(7, 100, 3)
+        counts = pl.load_balance()
+        assert counts.max() - counts.min() <= 3
+
+    def test_vars_at_inverts_replicas(self):
+        pl = RoundRobinPlacement(6, 20, 2)
+        for s in range(6):
+            for v in pl.vars_at(s):
+                assert s in pl.replicas(v)
+        for v in range(20):
+            for s in pl.replicas(v):
+                assert v in pl.vars_at(s)
+
+    def test_is_replicated_at(self):
+        pl = RoundRobinPlacement(5, 10, 2)
+        assert pl.is_replicated_at(0, 0)
+        assert pl.is_replicated_at(0, 1)
+        assert not pl.is_replicated_at(0, 3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RoundRobinPlacement(0, 10, 1)
+        with pytest.raises(ValueError):
+            RoundRobinPlacement(5, 0, 1)
+        with pytest.raises(ValueError):
+            RoundRobinPlacement(5, 10, 0)
+        with pytest.raises(ValueError):
+            RoundRobinPlacement(5, 10, 6)
+
+
+class TestFetchRouting:
+    def test_reader_holding_replica_fetches_itself(self):
+        pl = RoundRobinPlacement(5, 10, 2)
+        assert pl.fetch_site(0, 0) == 0
+
+    def test_fetch_site_is_a_replica(self):
+        pl = RoundRobinPlacement(8, 40, 3)
+        for v in range(40):
+            for reader in range(8):
+                assert pl.fetch_site(v, reader) in pl.replicas(v)
+
+    def test_fetch_site_deterministic(self):
+        pl = RoundRobinPlacement(8, 40, 3)
+        assert pl.fetch_site(5, 2) == pl.fetch_site(5, 2)
+
+    def test_ring_distance_choice(self):
+        pl = RoundRobinPlacement(6, 6, 2)
+        # var 2 lives at {2, 3}; reader 4 is 4 hops from 2 (clockwise 4->2
+        # = (2-4) % 6 = 4) and 5 hops from 3; chooses 2
+        assert pl.fetch_site(2, 4) == 2
+
+
+class TestOtherPlacements:
+    def test_random_placement_valid_and_seed_stable(self):
+        a = RandomPlacement(10, 50, 3, seed=1)
+        b = RandomPlacement(10, 50, 3, seed=1)
+        c = RandomPlacement(10, 50, 3, seed=2)
+        for v in range(50):
+            assert len(set(a.replicas(v))) == 3
+            assert a.replicas(v) == b.replicas(v)
+        assert any(a.replicas(v) != c.replicas(v) for v in range(50))
+
+    def test_hash_placement_parameter_pure(self):
+        a = HashPlacement(10, 50, 3)
+        b = HashPlacement(10, 50, 3)
+        for v in range(50):
+            assert a.replicas(v) == b.replicas(v)
+            assert len(set(a.replicas(v))) == 3
+
+    def test_full_replication_helper(self):
+        pl = full_replication(4, 10)
+        assert pl.is_full
+        for v in range(10):
+            assert set(pl.replicas(v)) == {0, 1, 2, 3}
+
+    def test_partial_is_not_full(self):
+        assert not RoundRobinPlacement(5, 10, 2).is_full
+
+
+class TestSiteStore:
+    def test_initial_value_is_bottom(self):
+        store = SiteStore(0, [1, 2, 3])
+        slot = store.read(2)
+        assert slot.value is BOTTOM
+        assert slot.write_id is None
+
+    def test_apply_then_read(self):
+        store = SiteStore(0, [1])
+        wid = WriteId(3, 7)
+        store.apply(1, "v", wid, 12.5)
+        slot = store.read(1)
+        assert slot.value == "v"
+        assert slot.write_id == wid
+        assert slot.applied_at == 12.5
+
+    def test_non_replicated_read_raises(self):
+        store = SiteStore(4, [1])
+        with pytest.raises(KeyError, match="site 4"):
+            store.read(2)
+
+    def test_non_replicated_apply_raises(self):
+        store = SiteStore(0, [1])
+        with pytest.raises(KeyError):
+            store.apply(9, "v", WriteId(0, 1), 0.0)
+
+    def test_contains_and_len(self):
+        store = SiteStore(0, [3, 5])
+        assert 3 in store and 5 in store and 4 not in store
+        assert len(store) == 2
+        assert store.variables == (3, 5)
+
+
+class TestWriteId:
+    def test_ordering_per_writer(self):
+        assert WriteId(0, 1) < WriteId(0, 2) < WriteId(1, 1)
+
+    def test_hashable_and_tuple(self):
+        assert WriteId(2, 5).as_tuple() == (2, 5)
+        assert len({WriteId(1, 1), WriteId(1, 1), WriteId(1, 2)}) == 2

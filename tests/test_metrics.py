@@ -1,0 +1,249 @@
+"""Unit tests for the size model, statistics, and the metrics collector."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.clocks import MatrixClock, VectorClock
+from repro.core.log import PiggybackEntry
+from repro.core.messages import (
+    CRPSM,
+    FetchMessage,
+    FullTrackRM,
+    FullTrackSM,
+    OptPSM,
+    OptTrackRM,
+    OptTrackSM,
+)
+from repro.memory.store import WriteId
+from repro.metrics.collector import MessageKind, MetricsCollector
+from repro.metrics.sizing import DEFAULT_SIZE_MODEL, SizeModel
+from repro.metrics.stats import RunningStat, percentile, summarize
+
+
+class TestSizeModel:
+    def test_matrix_clock_quadratic(self):
+        m = SizeModel()
+        assert m.matrix_clock(5) == 25 * m.matrix_entry
+        assert m.matrix_clock(40) == 1600 * m.matrix_entry
+
+    def test_vector_clock_linear(self):
+        m = SizeModel()
+        assert m.vector_clock(40) == 40 * m.vector_entry
+
+    def test_calibration_full_track_sm_n5(self):
+        # calibrated against the paper's Table II: ~518 bytes at n=5
+        assert abs(DEFAULT_SIZE_MODEL.sm_full_track(5) - 518) <= 10
+
+    def test_calibration_optp_sm(self):
+        # Table III: optP SM = 259 at n=5, 609 at n=40 (209 + 10 n)
+        m = DEFAULT_SIZE_MODEL
+        assert m.sm_optp(5) == 259
+        assert m.sm_optp(40) == 609
+
+    def test_opt_track_log_cost(self):
+        m = SizeModel()
+        assert m.opt_track_log([2, 0, 1]) == 3 * m.log_entry_overhead + 3 * m.dest_id
+
+    def test_shape_matches_per_entry(self):
+        m = SizeModel()
+        assert m.opt_track_log_shape(3, 3) == m.opt_track_log([2, 0, 1])
+
+    def test_tuple_log(self):
+        m = SizeModel()
+        assert m.tuple_log(4) == 4 * m.tuple_entry
+
+    def test_negative_rejected(self):
+        m = SizeModel()
+        with pytest.raises(ValueError):
+            m.opt_track_log([-1])
+        with pytest.raises(ValueError):
+            m.tuple_log(-2)
+        with pytest.raises(ValueError):
+            m.opt_track_log_shape(-1, 0)
+        with pytest.raises(ValueError):
+            SizeModel(clock=-1)
+
+    def test_compact_model_is_headerless(self):
+        m = SizeModel.compact()
+        assert m.fm() == 0
+        assert m.sm_optp(5) == m.var_id + m.value + 5 * m.vector_entry
+
+    def test_fm_base_is_the_papers_constant(self):
+        # "the size of FM is a constant byte count c" — the base; the
+        # soundness fix adds 12 B per piggybacked requirement pair
+        m = DEFAULT_SIZE_MODEL
+        assert m.fm() == m.fm_size
+        assert m.fm_requirement == 12
+
+
+class TestMessageSizes:
+    def test_full_track_messages(self):
+        m = DEFAULT_SIZE_MODEL
+        sm = FullTrackSM(0, 1, WriteId(0, 1), MatrixClock(10))
+        rm = FullTrackRM(0, 1, WriteId(0, 1), MatrixClock(10), 0)
+        assert sm.metadata_size(m) == m.sm_full_track(10)
+        assert rm.metadata_size(m) == m.rm_full_track(10)
+        assert sm.metadata_size(m) - rm.metadata_size(m) == m.var_id
+
+    def test_opt_track_sm_grows_with_log(self):
+        m = DEFAULT_SIZE_MODEL
+        small = OptTrackSM(0, 1, WriteId(0, 1), ())
+        big = OptTrackSM(
+            0, 1, WriteId(0, 1),
+            tuple(PiggybackEntry(0, c, frozenset({1, 2})) for c in range(1, 6)),
+        )
+        assert big.metadata_size(m) - small.metadata_size(m) == (
+            5 * m.log_entry_overhead + 10 * m.dest_id
+        )
+
+    def test_crp_sm_grows_per_tuple(self):
+        m = DEFAULT_SIZE_MODEL
+        a = CRPSM(0, 1, WriteId(0, 1), ())
+        b = CRPSM(0, 1, WriteId(0, 1), ((0, 1), (1, 2)))
+        assert b.metadata_size(m) - a.metadata_size(m) == 2 * m.tuple_entry
+
+    def test_optp_quadratic_total_linear_per_message(self):
+        m = DEFAULT_SIZE_MODEL
+        s5 = OptPSM(0, 1, WriteId(0, 1), VectorClock(5)).metadata_size(m)
+        s10 = OptPSM(0, 1, WriteId(0, 1), VectorClock(10)).metadata_size(m)
+        assert s10 - s5 == 5 * m.vector_entry
+
+    def test_fetch_size(self):
+        m = DEFAULT_SIZE_MODEL
+        assert FetchMessage(0, 1, 0).metadata_size(m) == m.fm()
+        with_reqs = FetchMessage(0, 1, 0, requirements=((2, 5), (3, 1)))
+        assert with_reqs.metadata_size(m) == m.fm() + 2 * m.fm_requirement
+
+    def test_rm_log_includes_write_own_entry_cost(self):
+        m = DEFAULT_SIZE_MODEL
+        bare = OptTrackRM(0, 1, None, (), 0)
+        with_entry = OptTrackRM(
+            0, 1, WriteId(2, 3),
+            (PiggybackEntry(2, 3, frozenset({4, 5})),), 0,
+        )
+        assert with_entry.metadata_size(m) - bare.metadata_size(m) == (
+            m.log_entry_overhead + 2 * m.dest_id
+        )
+
+
+class TestRunningStat:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        xs = rng.normal(10, 3, size=500)
+        rs = RunningStat()
+        rs.extend(xs)
+        assert rs.count == 500
+        assert rs.mean == pytest.approx(np.mean(xs))
+        assert rs.stdev == pytest.approx(np.std(xs, ddof=1))
+        assert rs.minimum == xs.min() and rs.maximum == xs.max()
+        assert rs.total == pytest.approx(xs.sum())
+
+    def test_empty(self):
+        rs = RunningStat()
+        assert rs.count == 0 and rs.variance == 0.0
+
+    def test_single_sample(self):
+        rs = RunningStat()
+        rs.add(5.0)
+        assert rs.mean == 5.0 and rs.variance == 0.0
+
+    def test_merge_equals_concatenation(self):
+        rng = np.random.default_rng(1)
+        xs, ys = rng.normal(size=100), rng.normal(5, 2, size=50)
+        a, b, ref = RunningStat(), RunningStat(), RunningStat()
+        a.extend(xs)
+        b.extend(ys)
+        ref.extend(np.concatenate([xs, ys]))
+        a.merge(b)
+        assert a.count == ref.count
+        assert a.mean == pytest.approx(ref.mean)
+        assert a.variance == pytest.approx(ref.variance)
+
+    def test_merge_with_empty(self):
+        a = RunningStat()
+        a.add(1.0)
+        a.merge(RunningStat())
+        assert a.count == 1
+        b = RunningStat()
+        b.merge(a)
+        assert b.mean == 1.0
+
+
+class TestPercentileAndSummary:
+    def test_percentile_matches_numpy(self):
+        xs = sorted([3.0, 1.0, 4.0, 1.5, 9.0, 2.6])
+        for q in (0, 25, 50, 75, 95, 100):
+            assert percentile(xs, q) == pytest.approx(np.percentile(xs, q))
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4 and s.mean == 2.5 and s.total == 10.0
+        assert s.p50 == 2.5
+
+    def test_summarize_empty(self):
+        s = summarize([])
+        assert s.count == 0
+
+
+class TestCollector:
+    def test_warmup_gate(self):
+        c = MetricsCollector()
+        c.record_message(MessageKind.SM, 100)  # before window opens
+        c.start_measuring()
+        c.record_message(MessageKind.SM, 200)
+        tally = c.tally(MessageKind.SM)
+        assert tally.lifetime_count == 2
+        assert tally.lifetime_bytes == 300
+        assert tally.count == 1
+        assert tally.total_bytes == 200
+        assert tally.mean_bytes == 200
+
+    def test_totals_across_kinds(self):
+        c = MetricsCollector()
+        c.start_measuring()
+        c.record_message(MessageKind.SM, 10)
+        c.record_message(MessageKind.FM, 20)
+        c.record_message(MessageKind.RM, 30)
+        assert c.total_message_count == 3
+        assert c.total_metadata_bytes == 60
+
+    def test_operation_counters(self):
+        c = MetricsCollector()
+        c.record_operation(True)
+        c.record_operation(False, remote=True)
+        c.start_measuring()
+        c.record_operation(False)
+        assert c.ops_write == 1 and c.ops_read == 2 and c.ops_read_remote == 1
+        assert c.measured_ops_read == 1 and c.measured_ops_write == 0
+
+    def test_samples_only_in_window(self):
+        c = MetricsCollector()
+        c.record_log_size(10)
+        c.record_activation_delay(5.0)
+        assert c.log_sizes.count == 0 and c.activation_delays.count == 0
+        c.start_measuring()
+        c.record_log_size(10)
+        assert c.log_sizes.count == 1
+
+    def test_negative_size_rejected(self):
+        c = MetricsCollector()
+        with pytest.raises(ValueError):
+            c.record_message(MessageKind.SM, -1)
+
+    def test_as_dict_keys(self):
+        c = MetricsCollector()
+        c.start_measuring()
+        c.record_message(MessageKind.SM, 10)
+        d = c.as_dict()
+        assert d["SM_count"] == 1
+        assert d["SM_mean_bytes"] == 10
+        assert "total_metadata_bytes" in d
+        assert "mean_fetch_rtt_ms" in d

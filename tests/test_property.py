@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis).
+
+The heavyweight property: for *any* small workload, placement, latency
+regime, and seed, every protocol produces a causally consistent history,
+finishes every schedule, and drains every buffer.  This is the closest a
+simulation can get to model-checking the activation predicates.
+
+Lighter structural properties cover the core data structures: clock
+merge is a join, log pruning never adds destinations, piggyback views
+never lose a receiver's own gating information, and the CRP tuple log is
+bounded by the number of writers.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AdversarialLatency,
+    ConstantLatency,
+    SimulationConfig,
+    UniformLatency,
+    check_causal_consistency,
+    run_simulation,
+)
+from repro.core.clocks import MatrixClock, VectorClock
+from repro.core.log import OptTrackLog, PiggybackEntry, TupleLog
+
+SIM_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+protocols = st.sampled_from(["full-track", "opt-track", "opt-track-crp", "optp"])
+latencies = st.sampled_from([
+    ConstantLatency(15.0),
+    UniformLatency(1.0, 300.0),
+    AdversarialLatency(),
+])
+
+
+@st.composite
+def sim_configs(draw):
+    protocol = draw(protocols)
+    n = draw(st.integers(2, 7))
+    q = draw(st.integers(2, 10))
+    full = protocol in ("opt-track-crp", "optp")
+    p = n if full else draw(st.integers(1, n))
+    return SimulationConfig(
+        protocol=protocol,
+        n_sites=n,
+        n_vars=q,
+        replication_factor=p,
+        write_rate=draw(st.floats(0.0, 1.0)),
+        ops_per_process=draw(st.integers(5, 30)),
+        seed=draw(st.integers(0, 10_000)),
+        latency=draw(latencies),
+        record_history=True,
+        max_events=200_000,
+    )
+
+
+class TestProtocolSafetyAndLiveness:
+    @SIM_SETTINGS
+    @given(cfg=sim_configs())
+    def test_causal_consistency_and_quiescence(self, cfg):
+        result = run_simulation(cfg)  # strict: raises if stuck
+        report = check_causal_consistency(result.history, result.placement)
+        report.raise_if_violated()
+        assert all(p.pending_count == 0 for p in result.protocols)
+
+    @SIM_SETTINGS
+    @given(
+        n=st.integers(2, 6),
+        wr=st.floats(0.1, 0.9),
+        seed=st.integers(0, 1000),
+    )
+    def test_partial_protocols_agree_on_counts(self, n, wr, seed):
+        from repro.experiments.sweep import paired_runs
+        from repro.metrics.collector import MessageKind
+
+        runs = paired_runs(("full-track", "opt-track"), n, wr,
+                           ops_per_process=15, seed=seed)
+        for kind in MessageKind:
+            assert (runs["full-track"].collector.tally(kind).count
+                    == runs["opt-track"].collector.tally(kind).count)
+
+
+# ----------------------------------------------------------------------
+# data-structure properties
+# ----------------------------------------------------------------------
+matrices = st.integers(2, 5).flatmap(
+    lambda n: st.lists(
+        st.lists(st.integers(0, 20), min_size=n, max_size=n),
+        min_size=n, max_size=n,
+    ).map(lambda rows: MatrixClock(n, np.array(rows)))
+)
+
+
+class TestClockProperties:
+    @given(m=matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_idempotent(self, m):
+        a = m.copy()
+        a.merge(m)
+        assert a == m
+
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_merge_commutative_and_dominating(self, data):
+        n = data.draw(st.integers(2, 4))
+        rows = st.lists(
+            st.lists(st.integers(0, 9), min_size=n, max_size=n),
+            min_size=n, max_size=n,
+        )
+        a = MatrixClock(n, np.array(data.draw(rows)))
+        b = MatrixClock(n, np.array(data.draw(rows)))
+        ab, ba = a.copy(), b.copy()
+        ab.merge(b)
+        ba.merge(a)
+        assert ab == ba
+        assert ab.dominates(a) and ab.dominates(b)
+
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_vector_merge_associative(self, data):
+        n = data.draw(st.integers(1, 5))
+        vec = st.lists(st.integers(0, 9), min_size=n, max_size=n)
+        a = VectorClock(n, data.draw(vec))
+        b = VectorClock(n, data.draw(vec))
+        c = VectorClock(n, data.draw(vec))
+        left = a.copy()
+        bc = b.copy()
+        bc.merge(c)
+        left.merge(bc)
+        right = a.copy()
+        right.merge(b)
+        right.merge(c)
+        assert left == right
+
+
+entries_strategy = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(1, 8),
+              st.frozensets(st.integers(0, 5), max_size=4)),
+    max_size=12,
+).map(lambda raw: [PiggybackEntry(j, c, d) for j, c, d in raw])
+
+
+class TestLogProperties:
+    @given(entries=entries_strategy, dests=st.frozensets(st.integers(0, 5), max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_piggyback_keeps_receiver_gates(self, entries, dests):
+        # for every destination d: any record naming d in the original
+        # log must still name d in the copy shipped to d
+        log = OptTrackLog(entries)
+        views, _ = log.piggyback_views(dests)
+        for d in dests:
+            shipped = {(e.writer, e.clock): e.dests for e in views[d]}
+            for e in log.entries():
+                if d in e.dests:
+                    assert d in shipped[(e.writer, e.clock)]
+
+    @given(entries=entries_strategy, dests=st.frozensets(st.integers(0, 5), max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_piggyback_never_adds_destinations(self, entries, dests):
+        log = OptTrackLog(entries)
+        original = {(e.writer, e.clock): e.dests for e in log.entries()}
+        views, base = log.piggyback_views(dests)
+        for view in list(views.values()) + [base]:
+            for e in view:
+                assert e.dests <= original[(e.writer, e.clock)]
+
+    @given(entries=entries_strategy, other=entries_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_monotone_knowledge(self, entries, other):
+        # after a merge, every surviving record's destination set is a
+        # subset of what either source knew (knowledge only shrinks)
+        log = OptTrackLog(entries)
+        before = {(e.writer, e.clock): e.dests for e in log.entries()}
+        incoming = {(e.writer, e.clock): e.dests for e in other}
+        log.merge(other)
+        for e in log.entries():
+            key = (e.writer, e.clock)
+            bounds = [s for s in (before.get(key), incoming.get(key)) if s is not None]
+            assert any(e.dests <= b for b in bounds)
+
+    @given(entries=entries_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_purge_keeps_newest_per_writer(self, entries):
+        log = OptTrackLog(entries)
+        writers_before = {e.writer for e in log.entries()}
+        log.purge()
+        writers_after = {e.writer for e in log.entries()}
+        assert writers_before == writers_after
+
+    @given(pairs=st.lists(st.tuples(st.integers(0, 3), st.integers(1, 50)), max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_tuple_log_bounded_and_max(self, pairs):
+        log = TupleLog()
+        for j, c in pairs:
+            log.add(j, c)
+        assert len(log) <= 4
+        for j in {j for j, _ in pairs}:
+            assert log.clock_of(j) == max(c for jj, c in pairs if jj == j)
+
+
+class TestWorkloadProperties:
+    @given(
+        n=st.integers(1, 6),
+        wr=st.floats(0.0, 1.0),
+        ops=st.integers(1, 60),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_generator_always_valid(self, n, wr, ops, seed):
+        from repro.workload.generator import generate_workload
+
+        wl = generate_workload(n, n_vars=7, write_rate=wr,
+                               ops_per_process=ops, seed=seed)
+        assert wl.total_operations == n * ops
+        assert wl.total_writes + wl.total_reads == wl.total_operations
+        for sched in wl.schedules:
+            times = [t for t, _ in sched.items]
+            assert times == sorted(times)

@@ -1,0 +1,143 @@
+"""Property-based tests for the network substrate and chaos scenarios."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import CausalCluster
+from repro.sim.engine import Simulator
+from repro.sim.network import (
+    AdversarialLatency,
+    LogNormalLatency,
+    Network,
+    UniformLatency,
+)
+
+latency_models = st.sampled_from([
+    UniformLatency(0.1, 500.0),
+    LogNormalLatency(median_ms=20.0, sigma=1.5),
+    AdversarialLatency(0.5, 2000.0),
+])
+
+
+class TestNetworkProperties:
+    @given(
+        latency=latency_models,
+        seed=st.integers(0, 10_000),
+        sends=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)),
+            min_size=1, max_size=60,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_per_channel_always(self, latency, seed, sends):
+        sim = Simulator()
+        net = Network(sim, 4, latency, rng=np.random.default_rng(seed))
+        received: dict[int, list] = {i: [] for i in range(4)}
+        for i in range(4):
+            net.register(i, lambda src, msg, i=i: received[i].append((src, msg)))
+        sequence: dict[tuple[int, int], int] = {}
+        for src, dst in sends:
+            key = (src, dst)
+            sequence[key] = sequence.get(key, 0) + 1
+            net.send(src, dst, sequence[key])
+        sim.run()
+        # per channel, payloads (their send sequence numbers) arrive sorted
+        for dst, items in received.items():
+            per_src: dict[int, list] = {}
+            for src, msg in items:
+                per_src.setdefault(src, []).append(msg)
+            for msgs in per_src.values():
+                assert msgs == sorted(msgs)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n_msgs=st.integers(1, 40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_no_message_lost_or_duplicated(self, seed, n_msgs):
+        sim = Simulator()
+        net = Network(sim, 3, AdversarialLatency(), rng=np.random.default_rng(seed))
+        got = []
+        for i in range(3):
+            net.register(i, lambda src, msg: got.append(msg))
+        for k in range(n_msgs):
+            net.send(k % 3, (k + 1) % 3, k)
+        sim.run()
+        assert sorted(got) == list(range(n_msgs))
+
+    @given(
+        seed=st.integers(0, 10_000),
+        pause_after=st.integers(0, 10),
+        n_msgs=st.integers(1, 30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pause_resume_preserves_order_and_delivery(
+        self, seed, pause_after, n_msgs
+    ):
+        sim = Simulator()
+        net = Network(sim, 2, UniformLatency(1.0, 50.0),
+                      rng=np.random.default_rng(seed))
+        got = []
+        net.register(1, lambda src, msg: got.append(msg))
+        net.register(0, lambda src, msg: None)
+        for k in range(min(pause_after, n_msgs)):
+            net.send(0, 1, k)
+        net.pause_site(1)
+        for k in range(min(pause_after, n_msgs), n_msgs):
+            net.send(0, 1, k)
+        sim.run()
+        net.resume_site(1)
+        assert got == list(range(n_msgs))
+
+
+class TestChaosClusters:
+    """Random pauses + adversarial latency + every protocol."""
+
+    @given(
+        protocol=st.sampled_from(
+            ["optp", "opt-track-crp", "full-track", "opt-track", "hb-track"]
+        ),
+        seed=st.integers(0, 5_000),
+        data=st.data(),
+    )
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_pause_storm_stays_causal(self, protocol, seed, data):
+        n = 4
+        kw = {}
+        if protocol in ("full-track", "opt-track"):
+            kw["replication_factor"] = data.draw(st.integers(1, n))
+        c = CausalCluster(n, protocol=protocol, n_vars=6, seed=seed,
+                          latency=AdversarialLatency(1.0, 400.0), **kw)
+        paused: set[int] = set()
+        for step in range(data.draw(st.integers(3, 15))):
+            action = data.draw(st.integers(0, 3))
+            site = data.draw(st.integers(0, n - 1))
+            if action == 0 and site not in paused:
+                c.pause_site(site)
+                paused.add(site)
+            elif action == 1 and site in paused:
+                c.resume_site(site)
+                paused.discard(site)
+            elif action == 2:
+                var = data.draw(st.integers(0, 5))
+                c.write(site, var, step)
+                c.advance(data.draw(st.floats(0.0, 100.0)))
+            else:
+                # reads only from unpaused sites and, under partial
+                # replication, only of locally replicated variables
+                # (remote reads could block forever on a paused server)
+                if site in paused:
+                    continue
+                local = c.placement.vars_at(site)
+                if local:
+                    var = local[data.draw(st.integers(0, len(local) - 1))]
+                    target = c.placement.fetch_site(var, site)
+                    if target == site:
+                        c.read(site, var)
+        for site in list(paused):
+            c.resume_site(site)
+        c.settle()
+        assert c.pending_messages() == 0
+        c.check().raise_if_violated()

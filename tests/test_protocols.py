@@ -1,0 +1,283 @@
+"""Behavioral tests of protocol internals.
+
+These go below the public read/write API and assert the mechanics the
+paper describes: merge-on-read (not on receipt), condition-1/2 pruning,
+log resets, the d+1 bound, FIFO+dependency activation, and the gating of
+remote-read returns under partial replication.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CausalCluster, ConstantLatency, PerPairLatency
+from repro.memory.store import BOTTOM
+
+
+def make(protocol, n=3, p=None, n_vars=6, latency=None):
+    return CausalCluster(
+        n,
+        protocol=protocol,
+        n_vars=n_vars,
+        replication_factor=p,
+        latency=latency or ConstantLatency(10.0),
+    )
+
+
+class TestFullTrackInternals:
+    def test_write_increments_own_row_for_destinations(self):
+        c = make("full-track", n=4, p=2)
+        var = 1  # replicas {1, 2}
+        c.write(0, var, "v")
+        m = c.protocols[0].write_clock
+        assert m[0, 1] == 1 and m[0, 2] == 1
+        assert m[0, 0] == 0 and m[0, 3] == 0
+
+    def test_receipt_does_not_merge_clock(self):
+        # ->co tracking: receiving (even applying) an update must NOT
+        # advance the receiver's Write clock — only reading the value does
+        c = make("full-track", n=3, p=2)
+        c.write(0, 0, "v")  # replicas {0, 1}
+        c.settle()
+        receiver = c.protocols[1]
+        assert receiver.write_clock.m.sum() == 0  # applied but not merged
+        c.read(1, 0)
+        assert receiver.write_clock[0, 0] == 1
+        assert receiver.write_clock[0, 1] == 1
+
+    def test_last_write_on_stores_piggybacked_matrix(self):
+        c = make("full-track", n=3, p=2)
+        c.write(0, 0, "v")
+        c.settle()
+        wid, matrix = c.protocols[1].last_write_on[0]
+        assert wid.site == 0 and wid.clock == 1
+        assert matrix[0, 0] == 1 and matrix[0, 1] == 1
+
+    def test_apply_counts_track_writers(self):
+        c = make("full-track", n=3, p=3)
+        c.write(0, 0, "a")
+        c.write(1, 1, "b")
+        c.settle()
+        assert c.protocols[2].applied.tolist() == [1, 1, 0]
+
+
+class TestOptTrackInternals:
+    def test_log_gains_entry_per_write(self):
+        c = make("opt-track", n=4, p=2)
+        c.write(0, 0, "v")  # replicas {0, 1}
+        log = c.protocols[0].log
+        assert (0, 1) in log
+        # own site excluded from the stored record (applied locally)
+        assert log.dests_of(0, 1) == {1}
+
+    def test_condition_two_prunes_on_next_write(self):
+        c = make("opt-track", n=4, p=2)
+        c.write(0, 0, "a")        # record (0,1) with dests {1}
+        c.write(0, 1, "b")        # write to replicas {1, 2}: strips 1
+        log = c.protocols[0].log
+        assert (0, 1) not in log  # emptied and superseded by (0,2)
+        assert log.dests_of(0, 2) == {1, 2}
+
+    def test_receiver_strips_itself_from_stored_log(self):
+        c = make("opt-track", n=4, p=3)
+        c.write(0, 0, "a")  # replicas {0,1,2}
+        c.settle()
+        wid, wdests, piggy = c.protocols[1].last_write_on[0]
+        assert 1 not in wdests  # condition 1 at the applying site
+        assert wdests == {2}   # 0 excluded at writer, 1 excluded here
+
+    def test_read_merges_write_entry_into_log(self):
+        c = make("opt-track", n=4, p=3)
+        c.write(0, 0, "a")
+        c.settle()
+        reader = c.protocols[1]
+        assert len(reader.log) == 0
+        c.read(1, 0)
+        assert (0, 1) in reader.log
+        assert reader.log.dests_of(0, 1) == {2}  # only 2 still unconfirmed
+
+    def test_applied_tracks_highest_clock(self):
+        c = make("opt-track", n=3, p=3)
+        for k in range(3):
+            c.write(0, 0, k)
+            c.settle()
+        assert c.protocols[2].applied[0] == 3
+
+    def test_fifo_assertion_guards_regression(self):
+        c = make("opt-track", n=3, p=3)
+        c.write(0, 0, "a")
+        c.settle()
+        proto = c.protocols[1]
+        from repro.core.messages import OptTrackSM
+        from repro.memory.store import WriteId
+
+        stale = OptTrackSM(var=0, value="x", write_id=WriteId(0, 1), log=())
+        with pytest.raises(AssertionError, match="FIFO"):
+            proto._apply_sm(0, stale)
+
+
+class TestCRPInternals:
+    def test_log_resets_after_write(self):
+        c = make("opt-track-crp", n=3)
+        c.write(0, 0, "a")
+        c.settle()
+        c.read(1, 0)
+        writer_log = c.protocols[1].log
+        c.write(1, 1, "b")
+        assert writer_log.entries() == ((1, 1),)  # singleton: own write
+
+    def test_write_piggybacks_pre_reset_dependencies(self):
+        c = make("opt-track-crp", n=3)
+        c.write(0, 0, "a")
+        c.settle()
+        c.read(1, 0)              # log at 1: {(0,1)}
+        c.write(1, 1, "b")        # must piggyback the (0,1) dependency
+        c.settle()
+        # receiver 2 applied "b" only after "a": check apply order
+        applies = [(e.site, e.write_id) for e in c.history.applies_at(2)]
+        assert applies.index((2, (0, 1))) < applies.index((2, (1, 1)))
+
+    def test_log_bounded_by_d_plus_one(self):
+        c = make("opt-track-crp", n=4, n_vars=8)
+        # interleave writes from several sites, then read d distinct vars
+        for k in range(4):
+            c.write(k, k, k)
+            c.settle()
+        c.write(3, 7, "w")  # resets site 3's log to 1 entry
+        c.settle()
+        d = 0
+        for var in range(3):
+            c.read(3, var)
+            d += 1
+            assert len(c.protocols[3].log) <= d + 1
+
+    def test_reads_of_same_writer_keep_one_entry(self):
+        c = make("opt-track-crp", n=3, n_vars=6)
+        c.write(0, 1, "a")
+        c.settle()
+        c.write(0, 2, "b")
+        c.settle()
+        c.write(1, 3, "c")  # reset site 1's log
+        c.settle()
+        c.read(1, 1)
+        c.read(1, 2)  # same writing site: subsumes the first entry
+        log = c.protocols[1].log
+        assert log.clock_of(0) == 2
+        assert len(log) == 2  # own write + one entry for writer 0
+
+    def test_no_fetch_traffic(self):
+        from repro.metrics.collector import MessageKind
+
+        c = make("opt-track-crp", n=3)
+        c.write(0, 0, "a")
+        c.settle()
+        c.read(2, 0)
+        assert c.collector.tally(MessageKind.FM).lifetime_count == 0
+        assert c.collector.tally(MessageKind.RM).lifetime_count == 0
+
+
+class TestOptPInternals:
+    def test_receipt_does_not_merge_vector(self):
+        c = make("optp", n=3)
+        c.write(0, 0, "v")
+        c.settle()
+        receiver = c.protocols[1]
+        assert receiver.write_clock.v.tolist() == [0, 0, 0]
+        c.read(1, 0)
+        assert receiver.write_clock.v.tolist() == [1, 0, 0]
+
+    def test_vector_piggyback_includes_read_dependencies(self):
+        c = make("optp", n=3)
+        c.write(0, 0, "a")
+        c.settle()
+        c.read(1, 0)
+        c.write(1, 1, "b")
+        proto = c.protocols[1]
+        _, vec = proto.last_write_on[1]
+        assert vec.v.tolist() == [1, 1, 0]
+
+    def test_fifo_apply_counts(self):
+        c = make("optp", n=3)
+        for k in range(3):
+            c.write(0, 0, k)
+        c.settle()
+        assert c.protocols[2].applied.tolist() == [3, 0, 0]
+
+
+class TestRemoteReadGating:
+    """A fetched value's causal dependencies destined to the reader must
+    be applied before the read completes (DESIGN.md design decision)."""
+
+    @pytest.mark.parametrize("protocol", ["opt-track", "full-track"])
+    def test_rm_blocks_until_dependency_applied(self, protocol):
+        # sites: 0 writes var2 (lives at 2) then var1 (lives at 1);
+        # channel 0->2 is very slow, everything else fast.  Site 2 then
+        # remote-reads var1: the returned value causally depends on the
+        # write to var2, destined to site 2 but still in flight -> the
+        # read must not complete before it is applied.
+        lat = [
+            [0.0, 5.0, 500.0],
+            [5.0, 0.0, 5.0],
+            [5.0, 5.0, 0.0],
+        ]
+        c = CausalCluster(
+            3, protocol=protocol, n_vars=3, replication_factor=1,
+            latency=PerPairLatency(lat),
+        )
+        c.write(0, 2, "dep")     # SM 0->2, arrives at t~500
+        c.advance(1.0)
+        c.write(0, 1, "val")     # SM 0->1, arrives fast, carries the dep
+        c.advance(50.0)          # plenty for everything except 0->2
+        value, _ = c.read_with_id(2, 1)   # fetch 2->1, gated RM back
+        assert value == "val"
+        # by completion, the dependency must have been applied locally
+        assert c.read(2, 2) == "dep"
+        assert c.now >= 500.0    # the read had to wait for the slow SM
+        c.settle()
+        c.check().raise_if_violated()
+
+    def test_unwritten_variable_remote_read_returns_bottom(self):
+        c = CausalCluster(3, protocol="opt-track", n_vars=3,
+                          replication_factor=1, latency=ConstantLatency(5.0))
+        assert c.read(0, 2) is BOTTOM
+
+    @pytest.mark.parametrize("protocol", ["opt-track", "full-track"])
+    def test_fetch_gated_on_readers_own_write(self, protocol):
+        # Regression for the soundness gap described in DESIGN.md: site 0
+        # writes var1 (replicated only at site 1) while site 1 has that
+        # SM buffered behind a slow dependency; site 0 then remote-reads
+        # var1.  Without FM requirement gating, site 1 answers with the
+        # stale pre-write value (here bottom) — a causal violation.
+        lat = [
+            [0.0, 5.0, 5.0],
+            [5.0, 0.0, 5.0],
+            [5.0, 900.0, 5.0],   # site2 -> site1 very slow
+        ]
+        c = CausalCluster(3, protocol=protocol, n_vars=3, replication_factor=1,
+                          latency=PerPairLatency(lat))
+        c.write(2, 1, "dep")       # slow SM 2->1
+        c.advance(1.0)
+        c.write(2, 0, "z")         # fast SM 2->0
+        c.advance(50.0)
+        assert c.read(0, 0) == "z"     # site 0 now causally knows "dep"
+        c.write(0, 1, "mine")          # SM 0->1 buffers behind "dep"
+        c.advance(50.0)
+        assert c.read(0, 1) == "mine"  # gated serve: never the stale value
+        c.settle()
+        c.check().raise_if_violated()
+
+    @pytest.mark.parametrize("protocol", ["opt-track", "full-track"])
+    def test_fetch_requirements_cover_latest_own_write(self, protocol):
+        c = CausalCluster(4, protocol=protocol, n_vars=4, replication_factor=2,
+                          latency=ConstantLatency(5.0))
+        # write a variable this site does not replicate, twice
+        var = next(v for v in range(4)
+                   if not c.placement.is_replicated_at(v, 0))
+        c.write(0, var, "a")
+        c.write(0, var, "b")
+        target = c.placement.fetch_site(var, 0)
+        reqs = dict(c.protocols[0]._fetch_requirements(var, target))
+        # the latest own write must be among the requirements
+        if protocol == "opt-track":
+            assert reqs.get(0) == 2          # own clock of write "b"
+        else:
+            assert reqs.get(0) == 2          # two writes destined to target

@@ -1,0 +1,164 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_initial_time_is_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(30.0, lambda: fired.append("c"))
+        sim.schedule(10.0, lambda: fired.append("a"))
+        sim.schedule(20.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_in_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in "abcde":
+            sim.schedule(5.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(12.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.5]
+        assert sim.now == 12.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: sim.schedule_at(5.0, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, lambda: fired.append(1))
+        sim.run()
+        assert fired == [1]
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 5:
+                sim.schedule(1.0, lambda: chain(depth + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert fired == list(range(6))
+        assert sim.now == 5.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(10.0, lambda: fired.append("x"))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(10.0, lambda: None)
+        sim.schedule(20.0, lambda: None)
+        assert sim.pending_events == 2
+        ev.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(1))
+        sim.schedule(50.0, lambda: fired.append(2))
+        sim.run(until=30.0)
+        assert fired == [1]
+        assert sim.now == 30.0
+
+    def test_run_can_resume_after_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(1))
+        sim.schedule(50.0, lambda: fired.append(2))
+        sim.run(until=30.0)
+        sim.run()
+        assert fired == [1, 2]
+        assert sim.now == 50.0
+
+    def test_event_exactly_at_horizon_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(30.0, lambda: fired.append(1))
+        sim.run(until=30.0)
+        assert fired == [1]
+
+
+class TestStep:
+    def test_step_returns_false_on_empty_queue(self):
+        assert Simulator().step() is False
+
+    def test_step_processes_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+
+    def test_processed_events_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.processed_events == 4
+
+
+class TestEventBudget:
+    def test_budget_exceeded_raises(self):
+        sim = Simulator(max_events=10)
+
+        def respawn():
+            sim.schedule(1.0, respawn)
+
+        sim.schedule(0.0, respawn)
+        with pytest.raises(SimulationError, match="budget"):
+            sim.run()
+
+    def test_budget_not_hit_for_finite_run(self):
+        sim = Simulator(max_events=10)
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.processed_events == 10
+
+
+class TestDeterminism:
+    def test_identical_schedules_produce_identical_traces(self):
+        def run_once():
+            sim = Simulator()
+            trace = []
+            for i in range(20):
+                sim.schedule((i * 7) % 5 + 0.5, lambda i=i: trace.append((sim.now, i)))
+            sim.run()
+            return trace
+
+        assert run_once() == run_once()

@@ -1,0 +1,192 @@
+"""Tests for the causality graph and the causal-consistency checker.
+
+The positive direction (real protocol runs pass) is covered by the
+integration tests; here the focus is the negative direction — the
+checker must *detect* hand-constructed violations of every kind it
+claims to check.  A checker that cannot fail is not evidence.
+"""
+
+import pytest
+
+from repro.memory.replication import RoundRobinPlacement, full_replication
+from repro.memory.store import WriteId
+from repro.sim.events import EventKind
+from repro.verify.causal_checker import check_causal_consistency
+from repro.verify.graph import causality_graph, read_node, write_node
+from repro.verify.history import HistoryRecorder
+
+
+def w(h, t, site, var, value, clock):
+    h.record_write_op(time=t, site=site, var=var, value=value,
+                      write_id=WriteId(site, clock))
+    return WriteId(site, clock)
+
+
+def r(h, t, site, var, value, wid):
+    h.record_read_op(time=t, site=site, var=var, value=value, write_id=wid)
+
+
+def ap(h, t, site, var, wid):
+    h.record_apply(time=t, site=site, var=var, write_id=wid)
+
+
+class TestGraph:
+    def test_program_order_edges(self):
+        h = HistoryRecorder()
+        w(h, 1, 0, 0, "a", 1)
+        r(h, 2, 0, 1, None, None)
+        g = causality_graph(h)
+        assert g.has_edge(write_node(0, 1), read_node(0, 1))
+        assert g.edges[write_node(0, 1), read_node(0, 1)]["order"] == "po"
+
+    def test_read_from_edges(self):
+        h = HistoryRecorder()
+        wid = w(h, 1, 0, 0, "a", 1)
+        r(h, 2, 1, 0, "a", wid)
+        g = causality_graph(h)
+        assert g.has_edge(write_node(0, 1), read_node(1, 0))
+        assert g.edges[write_node(0, 1), read_node(1, 0)]["order"] == "rf"
+
+    def test_unknown_write_id_rejected(self):
+        h = HistoryRecorder()
+        r(h, 1, 0, 0, "a", WriteId(5, 5))
+        with pytest.raises(ValueError, match="unknown write"):
+            causality_graph(h)
+
+    def test_cross_variable_rf_rejected(self):
+        h = HistoryRecorder()
+        wid = w(h, 1, 0, 0, "a", 1)
+        r(h, 2, 1, 3, "a", wid)  # reads var 3, write was to var 0
+        with pytest.raises(ValueError, match="var"):
+            causality_graph(h)
+
+
+class TestCheckerPasses:
+    def test_trivially_consistent(self):
+        h = HistoryRecorder()
+        wid = w(h, 1, 0, 0, "a", 1)
+        r(h, 2, 1, 0, "a", wid)
+        report = check_causal_consistency(h)
+        assert report.ok
+        assert report.n_writes == 1 and report.n_reads == 1
+
+    def test_bottom_read_before_any_write_ok(self):
+        h = HistoryRecorder()
+        r(h, 1, 1, 0, None, None)
+        w(h, 2, 0, 0, "a", 1)
+        assert check_causal_consistency(h).ok
+
+    def test_concurrent_overwrite_not_a_violation(self):
+        # two *concurrent* writes to x: reading either is legal
+        h = HistoryRecorder()
+        wa = w(h, 1, 0, 0, "a", 1)
+        wb = w(h, 1, 1, 0, "b", 1)
+        r(h, 2, 2, 0, "a", wa)
+        r(h, 3, 3, 0, "b", wb)
+        assert check_causal_consistency(h).ok
+
+    def test_raise_if_violated_on_clean(self):
+        h = HistoryRecorder()
+        w(h, 1, 0, 0, "a", 1)
+        check_causal_consistency(h).raise_if_violated()
+
+
+class TestCheckerDetectsStaleReads:
+    def test_reading_causally_overwritten_value(self):
+        h = HistoryRecorder()
+        w1 = w(h, 1, 0, 0, "a", 1)
+        w2 = w(h, 2, 0, 0, "b", 2)   # same writer: w1 ->po w2
+        r(h, 3, 1, 0, "b", w2)       # site 1 saw the newer value...
+        r(h, 4, 1, 0, "a", w1)       # ...then regressed to the old one
+        report = check_causal_consistency(h)
+        assert not report.ok
+        assert any(v.kind == "stale-read" for v in report.violations)
+
+    def test_bottom_read_with_write_in_causal_past(self):
+        h = HistoryRecorder()
+        wx = w(h, 1, 0, 0, "a", 1)
+        wy = w(h, 2, 0, 1, "b", 2)
+        r(h, 3, 1, 1, "b", wy)      # site 1 depends on wy, hence on wx
+        r(h, 4, 1, 0, None, None)   # but reads x = bottom
+        report = check_causal_consistency(h)
+        assert not report.ok
+        assert any(v.kind == "stale-bottom-read" for v in report.violations)
+
+    def test_transitive_stale_read_via_third_site(self):
+        # w1 -> w2 via a read at another site, then a stale read of w1
+        h = HistoryRecorder()
+        w1 = w(h, 1, 0, 0, "a", 1)
+        r(h, 2, 1, 0, "a", w1)
+        w2 = w(h, 3, 1, 0, "c", 1)   # causally after w1 through the read
+        r(h, 4, 2, 0, "c", w2)
+        r(h, 5, 2, 0, "a", w1)       # regression
+        report = check_causal_consistency(h)
+        assert any(v.kind == "stale-read" for v in report.violations)
+
+    def test_raise_if_violated_raises(self):
+        h = HistoryRecorder()
+        w1 = w(h, 1, 0, 0, "a", 1)
+        w2 = w(h, 2, 0, 0, "b", 2)
+        r(h, 3, 1, 0, "b", w2)
+        r(h, 4, 1, 0, "a", w1)
+        with pytest.raises(AssertionError, match="violation"):
+            check_causal_consistency(h).raise_if_violated()
+
+
+class TestCheckerDetectsCycles:
+    def test_read_from_own_program_future(self):
+        h = HistoryRecorder()
+        # site 0 reads the value of a write it only performs afterwards
+        r(h, 1, 0, 0, "a", WriteId(0, 1))
+        w(h, 2, 0, 0, "a", 1)
+        report = check_causal_consistency(h)
+        assert not report.ok
+        assert report.violations[0].kind == "cyclic-causality"
+
+
+class TestCheckerApplyOrder:
+    def setup_method(self):
+        self.placement = full_replication(3, 4)
+
+    def test_correct_apply_order_passes(self):
+        h = HistoryRecorder()
+        w1 = w(h, 1, 0, 0, "a", 1)
+        w2 = w(h, 2, 0, 1, "b", 2)
+        for site in range(3):
+            ap(h, 3, site, 0, w1)
+            ap(h, 4, site, 1, w2)
+        assert check_causal_consistency(h, self.placement).ok
+
+    def test_inverted_apply_order_detected(self):
+        h = HistoryRecorder()
+        w1 = w(h, 1, 0, 0, "a", 1)
+        w2 = w(h, 2, 0, 1, "b", 2)
+        ap(h, 3, 1, 1, w2)  # site 1 applies the later write first
+        ap(h, 4, 1, 0, w1)
+        report = check_causal_consistency(h, self.placement)
+        assert any(v.kind == "apply-order" for v in report.violations)
+
+    def test_missing_apply_detected(self):
+        h = HistoryRecorder()
+        w1 = w(h, 1, 0, 0, "a", 1)
+        w2 = w(h, 2, 0, 1, "b", 2)
+        ap(h, 3, 1, 1, w2)  # applied the successor, never the predecessor
+        report = check_causal_consistency(h, self.placement)
+        assert any(v.kind == "missing-apply" for v in report.violations)
+
+    def test_predecessor_not_destined_is_fine(self):
+        # under partial replication, a predecessor not replicated at the
+        # site imposes no apply obligation there
+        placement = RoundRobinPlacement(4, 4, 1)  # var v lives only at site v
+        h = HistoryRecorder()
+        w1 = w(h, 1, 0, 0, "a", 1)   # var 0 -> site 0 only
+        w2 = w(h, 2, 0, 1, "b", 2)   # var 1 -> site 1 only
+        ap(h, 3, 0, 0, w1)
+        ap(h, 4, 1, 1, w2)
+        assert check_causal_consistency(h, placement).ok
+
+    def test_phantom_apply_detected(self):
+        h = HistoryRecorder()
+        ap(h, 1, 0, 0, WriteId(2, 9))  # applying a write nobody performed
+        report = check_causal_consistency(h, self.placement)
+        assert any(v.kind == "phantom-apply" for v in report.violations)
