@@ -1,0 +1,85 @@
+"""Extension — protocol cost under faults: retransmission and recovery.
+
+The paper assumes reliable FIFO channels (TCP) and never charges the
+protocols for the transport that provides them.  This bench injects
+packet loss and a network partition under all four protocols and
+reports what reliability actually costs: retransmitted packets, ack
+overhead, and how long a severed site takes to catch back up after the
+partition heals.  The causal guarantees hold at every drop rate — the
+chaos layer's ack/retransmit channel restores exactly-once FIFO
+delivery — so the differences are pure transport overhead.
+"""
+
+import sys
+
+from _common import OPS, run_standalone, show
+
+from repro.experiments.runner import SimulationConfig, run_simulation
+from repro.sim.faults import FaultPlan, Partition
+from repro.sim.network import UniformLatency
+from repro.sim.reliable import RetransmitPolicy
+
+N = 10
+WRATE = 0.5
+DROP_RATES = (0.0, 0.1, 0.25)
+#: base RTO above the 100 ms max RTT so a clean network never times out
+POLICY = RetransmitPolicy(base_rto_ms=500.0, max_rto_ms=4000.0, jitter_ms=25.0)
+
+
+def plan_for(drop_rate):
+    return FaultPlan.uniform(
+        drop_rate=drop_rate,
+        partitions=(Partition([0, 1], 500.0, 3000.0),),
+    )
+
+
+def compute_rows():
+    rows = []
+    for drop in DROP_RATES:
+        for protocol in ("full-track", "opt-track", "optp", "opt-track-crp"):
+            cfg = SimulationConfig(
+                protocol=protocol, n_sites=N, write_rate=WRATE,
+                ops_per_process=OPS, seed=0,
+                latency=UniformLatency(10.0, 100.0),
+                fault_plan=plan_for(drop), fault_seed=11, retransmit=POLICY,
+            )
+            col = run_simulation(cfg).collector
+            rows.append({
+                "drop": drop,
+                "protocol": protocol,
+                "retx": col.retransmissions,
+                "dup_drops": col.duplicate_drops,
+                "ack_kB": round(col.ack_bytes / 1000.0, 1),
+                "recovery_ms": round(col.recovery_latency.mean, 1),
+            })
+    return rows
+
+
+def test_ext_fault_recovery(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    show(rows, f"Extension: reliability cost under loss + partition/heal "
+               f"(n={N}, w_rate={WRATE})")
+
+    def col(drop, protocol, key):
+        return next(r[key] for r in rows
+                    if r["drop"] == drop and r["protocol"] == protocol)
+
+    for protocol in ("full-track", "opt-track", "optp", "opt-track-crp"):
+        # a lossless link with rto > max RTT never times out: the only
+        # retransmissions are the eager resends at the partition heal
+        clean = col(0.0, protocol, "retx")
+        assert clean <= col(0.0, protocol, "ack_kB") * 1000 / 20.0
+        # retransmissions grow monotonically with the drop rate
+        retx = [col(d, protocol, "retx") for d in DROP_RATES]
+        assert retx[0] < retx[1] < retx[2], (protocol, retx)
+        # the severed sites always pay a measurable catch-up delay
+        for d in DROP_RATES:
+            assert col(d, protocol, "recovery_ms") > 0.0
+    # ack traffic tracks message count, so the p=n protocols (one SM per
+    # write to every site) pay more ack overhead than partial replication
+    for d in DROP_RATES:
+        assert col(d, "optp", "ack_kB") > col(d, "opt-track", "ack_kB")
+
+
+if __name__ == "__main__":
+    sys.exit(run_standalone(test_ext_fault_recovery))

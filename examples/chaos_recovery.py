@@ -1,0 +1,87 @@
+"""Chaos walkthrough: causal order survives a lossy, partitioned network.
+
+The paper's protocols assume reliable FIFO channels.  This example
+removes that assumption at the physical layer — packets drop, duplicate,
+and a datacenter is cut off entirely — and shows the chaos transport's
+ack/retransmit channel rebuilding the guarantee underneath, so the
+protocol layer (and every client) never notices anything but latency.
+
+The story, on a five-site cluster:
+
+1. the network starts dropping 20% of packets; writes keep committing;
+2. sites {0, 1} are partitioned away from {2, 3, 4};
+3. writes continue on both sides of the cut — the transport queues and
+   retries what it cannot deliver;
+4. the partition heals, the retransmit timers flush the backlog, and
+   the metrics report how long each severed site took to catch up;
+5. the causal checker certifies the complete history, and the transport
+   counters show how much chaos was absorbed on the way.
+
+Run:  python examples/chaos_recovery.py
+"""
+
+from repro import (
+    CausalCluster,
+    FaultPlan,
+    RetransmitPolicy,
+    UniformLatency,
+)
+from repro.verify.convergence import check_convergence
+
+ISLAND = {0, 1}
+
+
+def main() -> None:
+    cluster = CausalCluster(
+        n_sites=5,
+        protocol="optp",
+        n_vars=10,
+        latency=UniformLatency(5.0, 40.0),
+        seed=3,
+        fault_plan=FaultPlan.uniform(drop_rate=0.2, dup_rate=0.1),
+        fault_seed=42,
+        retransmit=RetransmitPolicy(base_rto_ms=150.0, max_rto_ms=2000.0),
+    )
+
+    print("1. every channel now drops 20% and duplicates 10% of packets")
+    for step in range(5):
+        cluster.write(step % 5, step % 10, f"lossy-{step}")
+        cluster.advance(80.0)
+    cluster.settle()
+    inj = cluster.faults
+    print(f"   ... committed 5 writes; the transport absorbed "
+          f"{inj.drops} drops and {inj.duplicates} duplicates so far")
+
+    print(f"2. sites {sorted(ISLAND)} are partitioned from the rest")
+    cluster.partition(ISLAND)
+
+    print("3. both sides keep writing into the cut")
+    cluster.write(0, 0, "island-side")     # replicated everywhere (p=n)
+    cluster.write(4, 9, "mainland-side")
+    cluster.advance(400.0)
+
+    print("4. the partition heals; retransmit timers flush the backlog")
+    cluster.heal()
+    cluster.settle()
+    for site in range(5):
+        assert cluster.read(site, 0) == "island-side"
+        assert cluster.read(site, 9) == "mainland-side"
+    col = cluster.collector
+    print(f"   ... every site now sees both writes; recovery latency: "
+          f"mean {col.recovery_latency.mean:.0f} ms over "
+          f"{col.recovery_latency.count} site(s)")
+
+    print("5. the full history is causally consistent and convergent")
+    cluster.check().raise_if_violated()
+    report = check_convergence(cluster.protocols, cluster.history)
+    assert report.ok
+    print(f"   ... checker passed; transport totals: "
+          f"{col.retransmissions} retransmissions, "
+          f"{col.duplicate_drops} duplicate packets suppressed, "
+          f"{col.acks_sent} acks ({col.ack_bytes / 1000.0:.1f} kB overhead)")
+    print("\nThe application never saw a lost, duplicated, or misordered "
+          "message: chaos stayed below the waterline.")
+
+
+if __name__ == "__main__":
+    main()

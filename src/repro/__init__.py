@@ -57,6 +57,7 @@ from .memory.store import BOTTOM, SiteStore, WriteId
 from .metrics.collector import MessageKind, MetricsCollector
 from .metrics.sizing import DEFAULT_SIZE_MODEL, SizeModel
 from .sim.engine import Simulator
+from .sim.faults import ChannelFaults, FaultInjector, FaultPlan, Partition
 from .sim.network import (
     AdversarialLatency,
     ConstantLatency,
@@ -66,6 +67,7 @@ from .sim.network import (
     PerPairLatency,
     UniformLatency,
 )
+from .sim.reliable import RetransmitPolicy
 from .verify.causal_checker import CausalityViolation, check_causal_consistency
 from .verify.sessions import check_all_session_guarantees
 from .workload.generator import generate_workload
@@ -94,6 +96,12 @@ __all__ = [
     "LogNormalLatency",
     "PerPairLatency",
     "AdversarialLatency",
+    # chaos / fault injection
+    "ChannelFaults",
+    "Partition",
+    "FaultPlan",
+    "FaultInjector",
+    "RetransmitPolicy",
     # memory
     "Placement",
     "RoundRobinPlacement",

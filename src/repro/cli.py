@@ -34,6 +34,7 @@ from .experiments import paper
 from .experiments.configs import EXPERIMENTS
 from .experiments.report import format_kv, format_table, write_csv
 from .experiments.runner import SimulationConfig, run_simulation
+from .sim.faults import ChannelFaults, FaultPlan, Partition
 from .sim.network import (
     AdversarialLatency,
     ConstantLatency,
@@ -88,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--latency", default="uniform", choices=sorted(_LATENCIES))
     run_p.add_argument("--check", action="store_true",
                        help="record history and verify causal consistency")
+    _add_fault_args(run_p)
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp_p.add_argument("id", choices=sorted(_EXPERIMENT_FNS))
@@ -144,9 +146,51 @@ def build_parser() -> argparse.ArgumentParser:
     check_p.add_argument("--ops", type=int, default=100)
     check_p.add_argument("--seed", type=int, default=0)
     check_p.add_argument("--latency", default="adversarial", choices=sorted(_LATENCIES))
+    _add_fault_args(check_p)
 
     sub.add_parser("list", help="list protocols and experiments")
     return parser
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    """Chaos-transport knobs shared by ``run`` and ``check``."""
+    grp = parser.add_argument_group("fault injection")
+    grp.add_argument("--drop-rate", type=float, default=0.0, metavar="P",
+                     help="per-packet drop probability on every channel")
+    grp.add_argument("--dup-rate", type=float, default=0.0, metavar="P",
+                     help="per-packet duplication probability")
+    grp.add_argument("--partition", default=None, metavar="START:HEAL:SITES",
+                     help="cut SITES (comma-separated) off from the rest "
+                          "between START and HEAL ms, e.g. 500:2000:0,1")
+    grp.add_argument("--fault-seed", type=int, default=0,
+                     help="seed of the dedicated fault RNG stream")
+
+
+def _parse_partition(spec: str) -> Partition:
+    try:
+        start, heal, sites = spec.split(":")
+        group = [int(s) for s in sites.split(",") if s]
+        return Partition(group, float(start), float(heal))
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(
+            f"invalid --partition {spec!r} (want START:HEAL:SITES, "
+            f"e.g. 500:2000:0,1): {exc}"
+        )
+
+
+def _fault_plan_from_args(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """None unless some chaos knob was set (keeps the zero-overhead path)."""
+    partitions = (_parse_partition(args.partition),) if args.partition else ()
+    if not (args.drop_rate or args.dup_rate or partitions):
+        return None
+    try:
+        return FaultPlan.build(
+            default=ChannelFaults(drop_rate=args.drop_rate,
+                                  dup_rate=args.dup_rate),
+            partitions=partitions,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid fault plan: {exc}")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -160,6 +204,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         latency=_LATENCIES[args.latency](),
         record_history=args.check,
+        fault_plan=_fault_plan_from_args(args),
+        fault_seed=args.fault_seed,
     )
     result = run_simulation(cfg)
     print(format_kv(result.summary()))
@@ -330,6 +376,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         seed=args.seed,
         latency=_LATENCIES[args.latency](),
         record_history=True,
+        fault_plan=_fault_plan_from_args(args),
+        fault_seed=args.fault_seed,
     )
     result = run_simulation(cfg)
     report = check_causal_consistency(result.history, result.placement)
@@ -337,6 +385,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
     print(f"{args.protocol}: causal consistency {status} "
           f"({report.n_writes} writes, {report.n_reads} reads, "
           f"{report.n_applies} applies)")
+    if cfg.fault_plan is not None:
+        col = result.collector
+        print(f"chaos: {col.injected_drops} drops, {col.injected_dups} dups, "
+              f"{col.retransmissions} retransmissions, "
+              f"{col.duplicate_drops} duplicates suppressed, "
+              f"{col.acks_sent} acks")
     for v in report.violations[:20]:
         print(f"  {v}")
     return 0 if report.ok else 1

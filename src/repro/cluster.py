@@ -21,7 +21,7 @@ the value.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -32,7 +32,9 @@ from .memory.store import SiteStore, WriteId
 from .metrics.collector import MetricsCollector
 from .metrics.sizing import DEFAULT_SIZE_MODEL, SizeModel
 from .sim.engine import Simulator
+from .sim.faults import FaultInjector, FaultPlan
 from .sim.network import LatencyModel, Network, UniformLatency
+from .sim.reliable import RetransmitPolicy
 from .verify.causal_checker import CheckReport, check_causal_consistency
 from .verify.history import HistoryRecorder
 
@@ -55,6 +57,9 @@ class CausalCluster:
         placement: str = "round-robin",
         seed: int = 0,
         record_history: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        fault_seed: int = 0,
+        retransmit: Optional[RetransmitPolicy] = None,
     ) -> None:
         # Reuse SimulationConfig purely for validation + placement logic.
         config = SimulationConfig(
@@ -67,16 +72,28 @@ class CausalCluster:
             latency=latency if latency is not None else UniformLatency(),
             bandwidth_bytes_per_ms=bandwidth_bytes_per_ms,
             size_model=size_model,
+            fault_plan=fault_plan,
+            fault_seed=fault_seed,
+            retransmit=retransmit,
         )
         self.config = config
         self.placement = build_placement(config)
         self.sim = Simulator()
+        self.collector = MetricsCollector()
+        self.faults: Optional[FaultInjector] = None
+        if fault_plan is not None:
+            self.faults = FaultInjector(
+                fault_plan,
+                rng=np.random.default_rng(
+                    np.random.SeedSequence(fault_seed).spawn(1)[0]
+                ),
+            )
         self.network = Network(
             self.sim, n_sites, config.latency,
             rng=np.random.default_rng(np.random.SeedSequence(seed).spawn(1)[0]),
             bandwidth_bytes_per_ms=bandwidth_bytes_per_ms,
+            faults=self.faults, collector=self.collector, retransmit=retransmit,
         )
-        self.collector = MetricsCollector()
         self.collector.start_measuring()  # no warm-up in interactive mode
         self.history = HistoryRecorder(enabled=record_history)
         self.protocols: list[CausalProtocol] = []
@@ -151,20 +168,27 @@ class CausalCluster:
 
     def settle(self) -> None:
         """Run until every in-flight message is delivered and applied."""
+        transport = self.network.transport
+        if transport is not None:
+            blocked = transport.blocked_channels(self.sim.now)
+            if blocked:
+                raise RuntimeError(
+                    f"cluster cannot settle while a partition is active "
+                    f"(channels blocked: {sorted(blocked)}); call heal() first"
+                )
         self.sim.run()
-        held = {
-            s: self.network.held_count(s)
-            for s in range(self.n_sites)
-            if self.network.held_count(s)
-        }
+        held = self._held_by_site()
         if held:
             raise RuntimeError(
                 f"cluster cannot settle while sites are paused "
-                f"(held messages: {held}); resume them first"
+                f"(held messages per site: {held}); resume them first"
             )
         undrained = {p.site: p.pending_count for p in self.protocols if p.pending_count}
         if undrained:
-            raise RuntimeError(f"cluster cannot settle; buffers stuck: {undrained}")
+            raise RuntimeError(
+                f"cluster cannot settle; buffers stuck: {undrained} "
+                f"(held messages per site: {self._held_by_site()})"
+            )
 
     # ------------------------------------------------------------------
     # fault injection
@@ -175,13 +199,52 @@ class CausalCluster:
         self.network.pause_site(site)
 
     def resume_site(self, site: int) -> None:
-        """Flush held deliveries to ``site`` and resume normal flow."""
+        """Flush held deliveries to ``site`` (through the event loop, so
+        run ``settle``/``advance`` to observe them) and resume normal flow."""
         self._check_site(site)
         self.network.resume_site(site)
 
+    def partition(self, sites: "set[int] | Sequence[int]") -> None:
+        """Cut ``sites`` off from the rest of the cluster, starting now.
+
+        Requires the chaos transport (build the cluster with a
+        ``fault_plan=`` — ``FaultPlan()`` is fine): without the reliable
+        ack/retransmit layer, severed messages would simply be lost and
+        the protocols could never recover.  Heal with :meth:`heal`.
+        """
+        if self.faults is None:
+            raise RuntimeError(
+                "partition() needs the chaos transport; construct the "
+                "cluster with fault_plan=FaultPlan() (or richer) first"
+            )
+        group = set(sites)
+        for s in group:
+            self._check_site(s)
+        self.faults.start_partition(group, self.sim.now)
+
+    def heal(self) -> None:
+        """Heal every active interactive partition; severed traffic is
+        retransmitted eagerly and per-site recovery latency is recorded."""
+        if self.faults is None:
+            return
+        healed = self.faults.heal_partitions(self.sim.now)
+        transport = self.network.transport
+        for group in healed:
+            transport.on_heal(self.sim.now, group)
+
+    def _held_by_site(self) -> dict[int, int]:
+        return {
+            s: self.network.held_count(s)
+            for s in range(self.n_sites)
+            if self.network.held_count(s)
+        }
+
     def pending_messages(self) -> int:
-        """Updates currently buffered by activation predicates, cluster-wide."""
-        return sum(p.pending_count for p in self.protocols)
+        """Messages not yet applied cluster-wide: updates buffered by
+        activation predicates plus deliveries held for paused sites."""
+        buffered = sum(p.pending_count for p in self.protocols)
+        held = sum(self._held_by_site().values())
+        return buffered + held
 
     # ------------------------------------------------------------------
     def check(self) -> CheckReport:

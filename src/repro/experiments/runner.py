@@ -37,8 +37,10 @@ from ..memory.store import SiteStore
 from ..metrics.collector import MetricsCollector
 from ..metrics.sizing import DEFAULT_SIZE_MODEL, SizeModel
 from ..sim.engine import Simulator
+from ..sim.faults import FaultInjector, FaultPlan
 from ..sim.network import LatencyModel, Network, UniformLatency
 from ..sim.process import Site
+from ..sim.reliable import RetransmitPolicy
 from ..verify.history import HistoryRecorder
 from ..workload.generator import generate_workload
 from ..workload.schedule import Workload
@@ -84,6 +86,14 @@ class SimulationConfig:
     record_history: bool = False
     strict: bool = True
     max_events: Optional[int] = None
+    #: chaos layer: ``None`` keeps the seed's reliable FIFO path exactly
+    #: (zero overhead); a plan routes every message through the
+    #: ack/retransmit transport over the lossy substrate
+    fault_plan: Optional[FaultPlan] = None
+    #: seed of the injector's dedicated RNG stream — fault schedules
+    #: replay bit-identically, independent of latency sampling
+    fault_seed: int = 0
+    retransmit: Optional[RetransmitPolicy] = None
 
     def __post_init__(self) -> None:
         if self.n_sites <= 0:
@@ -180,9 +190,17 @@ def run_simulation(
     placement = build_placement(config)
     sim = Simulator(max_events=config.max_events)
     net_rng = np.random.default_rng(np.random.SeedSequence(config.seed).spawn(1)[0])
-    network = Network(sim, config.n_sites, config.latency, rng=net_rng,
-                      bandwidth_bytes_per_ms=config.bandwidth_bytes_per_ms)
     collector = MetricsCollector()
+    faults = None
+    if config.fault_plan is not None:
+        fault_rng = np.random.default_rng(
+            np.random.SeedSequence(config.fault_seed).spawn(1)[0]
+        )
+        faults = FaultInjector(config.fault_plan, rng=fault_rng)
+    network = Network(sim, config.n_sites, config.latency, rng=net_rng,
+                      bandwidth_bytes_per_ms=config.bandwidth_bytes_per_ms,
+                      faults=faults, collector=collector,
+                      retransmit=config.retransmit)
     history = HistoryRecorder(enabled=config.record_history)
 
     # Warm-up gate: open the measurement window once the first

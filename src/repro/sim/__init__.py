@@ -1,7 +1,8 @@
-"""Discrete-event simulation substrate (engine, network, process model)."""
+"""Discrete-event simulation substrate (engine, network, faults, process model)."""
 
 from .engine import ScheduledEvent, SimulationError, Simulator
 from .events import EventKind, EventRecord
+from .faults import ChannelFaults, FaultInjector, FaultPlan, Partition
 from .network import (
     AdversarialLatency,
     ConstantLatency,
@@ -12,6 +13,7 @@ from .network import (
     UniformLatency,
 )
 from .process import Site
+from .reliable import ReliableChannel, ReliableTransport, RetransmitPolicy
 
 __all__ = [
     "Simulator",
@@ -27,4 +29,11 @@ __all__ = [
     "PerPairLatency",
     "AdversarialLatency",
     "Site",
+    "ChannelFaults",
+    "Partition",
+    "FaultPlan",
+    "FaultInjector",
+    "ReliableChannel",
+    "ReliableTransport",
+    "RetransmitPolicy",
 ]

@@ -1,0 +1,276 @@
+"""Deterministic fault injection for the simulated network.
+
+The paper's testbed inherits reliable FIFO channels from TCP; the seed
+reproduction simply assumed them.  This module supplies the *unreliable*
+substrate those channels would really run over: a declarative
+:class:`FaultPlan` (per-channel drop probability, duplication, latency
+spikes, and scheduled partitions with heal times) interpreted by a
+seeded :class:`FaultInjector`.
+
+Determinism contract: the injector owns its **own** ``numpy`` RNG
+stream, seeded independently of latency sampling, so the same fault
+seed replays a bit-identical fault schedule regardless of the latency
+model or workload seed.  Decisions are drawn once per physical packet
+transmission, in simulator order, which is itself deterministic.
+
+The recovery machinery that turns this lossy substrate back into the
+exactly-once FIFO channels the protocols require lives in
+:mod:`repro.sim.reliable`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ChannelFaults",
+    "Partition",
+    "FaultPlan",
+    "FaultDecision",
+    "FaultInjector",
+]
+
+
+@dataclass(frozen=True)
+class ChannelFaults:
+    """Fault rates for one directed channel (all probabilities per packet)."""
+
+    #: probability a transmitted packet is silently lost
+    drop_rate: float = 0.0
+    #: probability a delivered packet also arrives a second time
+    dup_rate: float = 0.0
+    #: probability a delivered packet suffers an extra latency spike
+    spike_rate: float = 0.0
+    #: uniform range (ms) of the extra delay a spike adds
+    spike_ms: tuple[float, float] = (100.0, 500.0)
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "dup_rate", "spike_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {rate}")
+        lo, hi = self.spike_ms
+        if not 0.0 <= lo <= hi:
+            raise ValueError(f"invalid spike range {self.spike_ms}")
+
+    @property
+    def is_quiet(self) -> bool:
+        return self.drop_rate == 0.0 and self.dup_rate == 0.0 and self.spike_rate == 0.0
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Sites in ``group`` are cut off from everyone else in [start, heal).
+
+    Packets crossing the boundary (either direction) are dropped for the
+    whole window; ``heal_ms=inf`` means the partition never heals on its
+    own (used for the interactive ``CausalCluster.partition`` helper,
+    which heals explicitly).
+    """
+
+    group: frozenset[int]
+    start_ms: float = 0.0
+    heal_ms: float = math.inf
+
+    def __init__(self, group: Iterable[int], start_ms: float = 0.0,
+                 heal_ms: float = math.inf) -> None:
+        object.__setattr__(self, "group", frozenset(group))
+        object.__setattr__(self, "start_ms", float(start_ms))
+        object.__setattr__(self, "heal_ms", float(heal_ms))
+        if not self.group:
+            raise ValueError("partition group cannot be empty")
+        if not 0.0 <= self.start_ms <= self.heal_ms:
+            raise ValueError(
+                f"invalid partition window [{self.start_ms}, {self.heal_ms})"
+            )
+
+    def severs(self, src: int, dst: int, now: float) -> bool:
+        """True when a packet src->dst at ``now`` crosses the active cut."""
+        if not self.start_ms <= now < self.heal_ms:
+            return False
+        return (src in self.group) != (dst in self.group)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of everything that goes wrong in a run.
+
+    ``channels`` holds per-channel overrides as a sorted tuple of
+    ``((src, dst), ChannelFaults)`` pairs so the plan stays hashable
+    (and therefore usable inside a frozen ``SimulationConfig``); use
+    :meth:`build` to construct one from a plain dict.
+    """
+
+    default: ChannelFaults = field(default_factory=ChannelFaults)
+    channels: tuple[tuple[tuple[int, int], ChannelFaults], ...] = ()
+    partitions: tuple[Partition, ...] = ()
+
+    @classmethod
+    def build(
+        cls,
+        default: Optional[ChannelFaults] = None,
+        channels: Optional[Mapping[tuple[int, int], ChannelFaults]] = None,
+        partitions: Sequence[Partition] = (),
+    ) -> "FaultPlan":
+        return cls(
+            default=default if default is not None else ChannelFaults(),
+            channels=tuple(sorted((channels or {}).items())),
+            partitions=tuple(partitions),
+        )
+
+    @classmethod
+    def uniform(
+        cls,
+        drop_rate: float = 0.0,
+        dup_rate: float = 0.0,
+        spike_rate: float = 0.0,
+        spike_ms: tuple[float, float] = (100.0, 500.0),
+        partitions: Sequence[Partition] = (),
+    ) -> "FaultPlan":
+        """The common case: one fault profile applied to every channel."""
+        return cls.build(
+            default=ChannelFaults(drop_rate, dup_rate, spike_rate, spike_ms),
+            partitions=partitions,
+        )
+
+    def faults_for(self, src: int, dst: int) -> ChannelFaults:
+        for key, faults in self.channels:
+            if key == (src, dst):
+                return faults
+        return self.default
+
+    def heal_times(self) -> list[float]:
+        """Finite heal timestamps, sorted and deduplicated."""
+        return sorted({p.heal_ms for p in self.partitions if math.isfinite(p.heal_ms)})
+
+
+class FaultDecision(NamedTuple):
+    """Outcome of one per-packet draw."""
+
+    drop: bool
+    duplicates: int
+    extra_delay_ms: float
+    severed: bool
+
+
+#: decision for a fault-free transmission (shared, allocation-free)
+NO_FAULT = FaultDecision(False, 0, 0.0, False)
+
+
+@dataclass
+class _DynamicPartition:
+    """A partition started interactively; healed by ``heal_partitions``."""
+
+    group: frozenset[int]
+    start_ms: float
+    heal_ms: float = math.inf
+
+
+class FaultInjector:
+    """Interprets a :class:`FaultPlan` with a dedicated RNG stream.
+
+    One instance serves a whole network.  ``decide`` is called once per
+    physical packet transmission; the injector keeps lifetime counters
+    of everything it injected so tests can assert the chaos actually
+    happened.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan] = None,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self.rng = rng if rng is not None else np.random.default_rng(
+            np.random.SeedSequence(seed)
+        )
+        self._dynamic: list[_DynamicPartition] = []
+        # lifetime injection counters
+        self.decisions = 0
+        self.drops = 0
+        self.partition_drops = 0
+        self.duplicates = 0
+        self.spikes = 0
+
+    # ------------------------------------------------------------------
+    # partitions
+    # ------------------------------------------------------------------
+    def severed(self, src: int, dst: int, now: float) -> bool:
+        """True when any partition (planned or dynamic) cuts src->dst now."""
+        for p in self.plan.partitions:
+            if p.severs(src, dst, now):
+                return True
+        for d in self._dynamic:
+            if d.start_ms <= now < d.heal_ms and (src in d.group) != (dst in d.group):
+                return True
+        return False
+
+    def start_partition(self, group: Iterable[int], now: float) -> frozenset[int]:
+        """Begin an open-ended partition isolating ``group`` at ``now``."""
+        g = frozenset(group)
+        if not g:
+            raise ValueError("partition group cannot be empty")
+        self._dynamic.append(_DynamicPartition(group=g, start_ms=now))
+        return g
+
+    def heal_partitions(self, now: float) -> list[frozenset[int]]:
+        """Heal every active dynamic partition; returns the healed groups."""
+        healed = []
+        for d in self._dynamic:
+            if d.start_ms <= now < d.heal_ms:
+                d.heal_ms = now
+                healed.append(d.group)
+        return healed
+
+    def unhealed_partitions(self, now: float) -> list[frozenset[int]]:
+        """Active partitions that will never heal by themselves."""
+        groups = [
+            p.group for p in self.plan.partitions
+            if p.start_ms <= now and not math.isfinite(p.heal_ms)
+        ]
+        groups += [
+            d.group for d in self._dynamic
+            if d.start_ms <= now and not math.isfinite(d.heal_ms)
+        ]
+        return groups
+
+    # ------------------------------------------------------------------
+    # per-packet decisions
+    # ------------------------------------------------------------------
+    def decide(self, src: int, dst: int, now: float) -> FaultDecision:
+        """Draw the fate of one physical packet transmission."""
+        self.decisions += 1
+        if self.severed(src, dst, now):
+            self.partition_drops += 1
+            return FaultDecision(True, 0, 0.0, True)
+        faults = self.plan.faults_for(src, dst)
+        if faults.is_quiet:
+            return NO_FAULT
+        if faults.drop_rate and self.rng.random() < faults.drop_rate:
+            self.drops += 1
+            return FaultDecision(True, 0, 0.0, False)
+        duplicates = 0
+        if faults.dup_rate and self.rng.random() < faults.dup_rate:
+            duplicates = 1
+            self.duplicates += 1
+        extra = 0.0
+        if faults.spike_rate and self.rng.random() < faults.spike_rate:
+            lo, hi = faults.spike_ms
+            extra = float(self.rng.uniform(lo, hi))
+            self.spikes += 1
+        if duplicates == 0 and extra == 0.0:
+            return NO_FAULT
+        return FaultDecision(False, duplicates, extra, False)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector decisions={self.decisions} drops={self.drops} "
+            f"partition_drops={self.partition_drops} dups={self.duplicates} "
+            f"spikes={self.spikes}>"
+        )

@@ -17,11 +17,16 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
 from .engine import Simulator
+from .faults import FaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..metrics.collector import MetricsCollector
+    from .reliable import RetransmitPolicy
 
 __all__ = [
     "LatencyModel",
@@ -161,6 +166,13 @@ class Network:
     only itself but every message queued behind it — the mechanism by
     which metadata size becomes latency.  The default (``None``) is the
     paper's model: size never affects timing.
+
+    With a :class:`~repro.sim.faults.FaultInjector` attached, ``send``
+    instead routes through the :class:`~repro.sim.reliable.ReliableTransport`
+    chaos stack (sequence numbers, cumulative acks, retransmission with
+    backoff) over a lossy raw transmission path that drops, duplicates,
+    delays, and partitions per the injector's plan.  Without one, the
+    reliable path below is byte-for-byte the seed behavior.
     """
 
     def __init__(
@@ -171,6 +183,9 @@ class Network:
         *,
         rng: Optional[np.random.Generator] = None,
         bandwidth_bytes_per_ms: Optional[float] = None,
+        faults: Optional[FaultInjector] = None,
+        collector: Optional["MetricsCollector"] = None,
+        retransmit: Optional["RetransmitPolicy"] = None,
     ) -> None:
         if n_sites <= 0:
             raise ValueError("network needs at least one site")
@@ -190,6 +205,17 @@ class Network:
         # (per-channel FIFO preserved) until resumed
         self._paused: set[int] = set()
         self._held: dict[int, list[tuple[int, object]]] = {}
+        # chaos stack (None = the default reliable path, zero overhead)
+        self.collector = collector
+        self.faults = faults
+        if faults is not None:
+            from .reliable import ReliableTransport
+
+            self.transport: Optional[ReliableTransport] = ReliableTransport(
+                self, faults, policy=retransmit
+            )
+        else:
+            self.transport = None
 
     # ------------------------------------------------------------------
     # fault injection
@@ -208,17 +234,28 @@ class Network:
         self._held.setdefault(site, [])
 
     def resume_site(self, site: int) -> None:
-        """Deliver everything held for ``site`` and resume normal flow."""
+        """Flush everything held for ``site`` and resume normal flow.
+
+        The backlog is *scheduled* through the simulator (zero-delay
+        events, preserving hold order via the kernel's tie-breaking)
+        rather than delivered synchronously here, so delivery timestamps
+        and downstream metrics stay consistent with the kernel clock —
+        run the simulator (``settle``/``advance``/``run``) to observe
+        the flushed deliveries.
+        """
         self._check_site(site)
         if site not in self._paused:
             return
         self._paused.discard(site)
         held = self._held.pop(site, [])
-        receiver = self._receivers.get(site)
-        if receiver is None and held:
+        if held and site not in self._receivers:
             raise RuntimeError(f"no receiver registered for site {site}")
         for src, message in held:
-            receiver(src, message)
+            self.sim.schedule(
+                0.0,
+                lambda src=src, message=message: self._deliver_app(src, site, message),
+                label=f"resume flush ->{site}",
+            )
 
     def is_paused(self, site: int) -> bool:
         return site in self._paused
@@ -247,7 +284,7 @@ class Network:
 
     # ------------------------------------------------------------------
     def send(self, src: int, dst: int, message: object,
-             *, size_bytes: float = 0.0) -> float:
+             *, size_bytes: float = 0.0) -> Optional[float]:
         """Send one message; returns its scheduled delivery time (ms).
 
         FIFO per channel: a message never overtakes an earlier message on
@@ -255,9 +292,16 @@ class Network:
         Under a finite bandwidth, ``size_bytes`` first occupies the
         sender's uplink (serialized across ALL of the sender's outgoing
         messages), then the propagation delay applies.
+
+        With a fault injector attached, the message instead enters the
+        reliable chaos stack; the return value is then the scheduled
+        arrival of the *first transmission attempt* (None if the
+        injector dropped it — a retransmission will deliver it later).
         """
         self._check_site(src)
         self._check_site(dst)
+        if self.transport is not None:
+            return self.transport.send(src, dst, message, size_bytes)
         departure = self.sim.now
         if self.bandwidth is not None and size_bytes > 0:
             start = max(departure, self._uplink_busy_until.get(src, 0.0))
@@ -274,15 +318,73 @@ class Network:
         self.total_messages += 1
 
         def _deliver() -> None:
-            if dst in self._paused:
-                self._held[dst].append((src, message))
-                return
-            receiver = self._receivers.get(dst)
-            if receiver is None:
-                raise RuntimeError(f"no receiver registered for site {dst}")
-            receiver(src, message)
+            self._deliver_app(src, dst, message)
 
         self.sim.schedule_at(delivery, _deliver, label=f"deliver {src}->{dst}")
+        return delivery
+
+    def _deliver_app(self, src: int, dst: int, message: object) -> None:
+        """Hand a message up to the application, honoring paused sites."""
+        if dst in self._paused:
+            self._held[dst].append((src, message))
+            return
+        receiver = self._receivers.get(dst)
+        if receiver is None:
+            raise RuntimeError(f"no receiver registered for site {dst}")
+        receiver(src, message)
+
+    def _transmit_raw(self, src: int, dst: int, packet: object,
+                      size_bytes: float) -> Optional[float]:
+        """One physical packet transmission over the *lossy* substrate.
+
+        Chaos path only (the reliable layer calls this for data packets,
+        retransmissions, and acks).  The fault injector decides drop /
+        duplicate / latency-spike per attempt; unlike the default path
+        there is NO structural FIFO clamp — sampled latencies may
+        reorder packets, and the reliable layer's reassembly buffer is
+        what restores order.  Returns the scheduled arrival of the
+        primary copy, or None when it was dropped.
+        """
+        departure = self.sim.now
+        if self.bandwidth is not None and size_bytes > 0:
+            # dropped packets still occupied the sender's uplink: loss
+            # happens in the network, after the bytes left the NIC
+            start = max(departure, self._uplink_busy_until.get(src, 0.0))
+            departure = start + size_bytes / self.bandwidth
+            self._uplink_busy_until[src] = departure
+        decision = self.faults.decide(src, dst, self.sim.now)
+        stats = self.channel_stats(src, dst)
+        stats.messages += 1
+        self.total_messages += 1
+        if decision.drop:
+            if self.collector is not None:
+                self.collector.record_injected_drop(partition=decision.severed)
+            return None
+        if src == dst:
+            delay = self.latency.local_delay()
+        else:
+            delay = self.latency.sample(src, dst, self.rng)
+        delivery = departure + delay + decision.extra_delay_ms
+        stats.last_delivery = max(stats.last_delivery, delivery)
+        if decision.extra_delay_ms and self.collector is not None:
+            self.collector.record_injected_spike(decision.extra_delay_ms)
+        self.sim.schedule_at(
+            delivery,
+            lambda: self.transport.deliver_packet(src, dst, packet),
+            label=f"packet {src}->{dst}",
+        )
+        for _ in range(decision.duplicates):
+            dup_delay = (self.latency.local_delay() if src == dst
+                         else self.latency.sample(src, dst, self.rng))
+            stats.messages += 1
+            self.total_messages += 1
+            if self.collector is not None:
+                self.collector.record_injected_dup()
+            self.sim.schedule_at(
+                departure + dup_delay + decision.extra_delay_ms,
+                lambda: self.transport.deliver_packet(src, dst, packet),
+                label=f"dup packet {src}->{dst}",
+            )
         return delivery
 
     def multicast(self, src: int, dests: Sequence[int], message_for: Callable[[int], object]) -> int:

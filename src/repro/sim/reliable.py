@@ -1,0 +1,315 @@
+"""Reliable exactly-once FIFO delivery over a lossy transport.
+
+A minimal model of the TCP machinery the paper's testbed relied on:
+per-channel sequence numbers, cumulative acks, retransmission timers
+with exponential backoff + jitter, duplicate suppression, and an
+out-of-order reassembly buffer.  Layered between the protocols and the
+fault-injecting raw transmission path of :class:`~repro.sim.network.Network`,
+it restores the channel guarantees (no loss, no duplication, no
+reordering within a channel) that the causal protocols assume — so the
+chaos suite can assert the protocols stay correct when the *network*
+misbehaves, not just when latency is adversarial.
+
+The layer is only instantiated when a :class:`~repro.sim.faults.FaultInjector`
+is attached; the default reliable path through ``Network.send`` is
+byte-for-byte the seed behavior (no sequence numbers, no acks, no
+timers — zero overhead when chaos is off).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from .engine import ScheduledEvent
+from .faults import FaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from .network import Network
+
+__all__ = [
+    "RetransmitPolicy",
+    "DataPacket",
+    "AckPacket",
+    "ReliableChannel",
+    "ReliableTransport",
+    "ACK_SIZE_BYTES",
+]
+
+#: modelled wire size of a cumulative ack (seq number + envelope)
+ACK_SIZE_BYTES = 20.0
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Retransmission timer parameters (TCP-ish defaults, simplified)."""
+
+    #: initial retransmission timeout; must exceed one round trip or the
+    #: sender retransmits spuriously (that is allowed, just wasteful)
+    base_rto_ms: float = 250.0
+    #: multiplicative backoff applied after every timeout
+    backoff: float = 2.0
+    #: cap on the backed-off timeout
+    max_rto_ms: float = 8000.0
+    #: uniform jitter added to each armed timer (desynchronizes channels)
+    jitter_ms: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.base_rto_ms <= 0 or self.max_rto_ms < self.base_rto_ms:
+            raise ValueError("need 0 < base_rto_ms <= max_rto_ms")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.jitter_ms < 0:
+            raise ValueError("jitter must be non-negative")
+
+
+@dataclass(frozen=True)
+class DataPacket:
+    """One transmission attempt of an application message."""
+
+    seq: int
+    payload: object
+    size_bytes: float
+
+
+@dataclass(frozen=True)
+class AckPacket:
+    """Cumulative ack: every seq <= ``cumulative`` has been received."""
+
+    cumulative: int
+
+
+class ReliableChannel:
+    """Sender + receiver state for one directed channel (src -> dst)."""
+
+    def __init__(self, transport: "ReliableTransport", src: int, dst: int) -> None:
+        self.transport = transport
+        self.src = src
+        self.dst = dst
+        policy = transport.policy
+        # sender side
+        self.next_seq = 0
+        self.unacked: dict[int, DataPacket] = {}  # insertion-ordered by seq
+        self.rto = policy.base_rto_ms
+        self._timer: Optional[ScheduledEvent] = None
+        self.retransmissions = 0
+        # receiver side
+        self.next_expected = 0
+        self._reorder: dict[int, DataPacket] = {}
+        self.duplicate_drops = 0
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+    def send(self, payload: object, size_bytes: float) -> Optional[float]:
+        packet = DataPacket(self.next_seq, payload, size_bytes)
+        self.next_seq += 1
+        self.unacked[packet.seq] = packet
+        delivery = self.transport.transmit(self.src, self.dst, packet, size_bytes)
+        self._arm_timer()
+        return delivery
+
+    def on_ack(self, cumulative: int) -> None:
+        acked = [seq for seq in self.unacked if seq <= cumulative]
+        if not acked:
+            return
+        for seq in acked:
+            del self.unacked[seq]
+        # forward progress: restart the timer from the base timeout
+        self.rto = self.transport.policy.base_rto_ms
+        self._cancel_timer()
+        if self.unacked:
+            self._arm_timer()
+        else:
+            self.transport.note_drained(self)
+
+    def flush_retransmit(self) -> None:
+        """Eagerly retransmit everything unacked (used when a partition
+        heals: no reason to sit out the backed-off timeout)."""
+        if not self.unacked:
+            return
+        self.rto = self.transport.policy.base_rto_ms
+        self._cancel_timer()
+        self._retransmit_all()
+        self._arm_timer()
+
+    def _retransmit_all(self) -> None:
+        # go-back-N: resend every unacked packet in sequence order; the
+        # receiver's reorder buffer absorbs any that already arrived
+        for seq in sorted(self.unacked):
+            packet = self.unacked[seq]
+            self.retransmissions += 1
+            self.transport.count_retransmission()
+            self.transport.transmit(self.src, self.dst, packet, packet.size_bytes)
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if not self.unacked:
+            return
+        self._retransmit_all()
+        self.rto = min(self.rto * self.transport.policy.backoff,
+                       self.transport.policy.max_rto_ms)
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        if self._timer is not None or not self.unacked:
+            return
+        policy = self.transport.policy
+        jitter = (
+            float(self.transport.injector.rng.uniform(0.0, policy.jitter_ms))
+            if policy.jitter_ms else 0.0
+        )
+        self._timer = self.transport.sim.schedule(
+            self.rto + jitter, self._on_timeout,
+            label=f"rto {self.src}->{self.dst}",
+        )
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # receiver side
+    # ------------------------------------------------------------------
+    def on_data(self, packet: DataPacket) -> None:
+        if packet.seq < self.next_expected or packet.seq in self._reorder:
+            # retransmit of something already received: suppress, but
+            # still ack so the sender stops resending
+            self.duplicate_drops += 1
+            self.transport.count_duplicate_drop()
+        else:
+            self._reorder[packet.seq] = packet
+            while self.next_expected in self._reorder:
+                ready = self._reorder.pop(self.next_expected)
+                self.next_expected += 1
+                self.transport.deliver_app(self.src, self.dst, ready.payload)
+        self.transport.send_ack(self.dst, self.src, self.next_expected - 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReliableChannel {self.src}->{self.dst} next_seq={self.next_seq} "
+            f"unacked={len(self.unacked)} expected={self.next_expected}>"
+        )
+
+
+class ReliableTransport:
+    """All reliable channels of one network, plus heal/recovery tracking."""
+
+    def __init__(
+        self,
+        network: "Network",
+        injector: FaultInjector,
+        policy: Optional[RetransmitPolicy] = None,
+    ) -> None:
+        self.net = network
+        self.sim = network.sim
+        self.injector = injector
+        self.policy = policy if policy is not None else RetransmitPolicy()
+        self._channels: dict[tuple[int, int], ReliableChannel] = {}
+        #: site -> heal time of the partition it is recovering from
+        self._recovering: dict[int, float] = {}
+        # aggregate counters (mirrored into the collector when attached)
+        self.retransmissions = 0
+        self.duplicate_drops = 0
+        self.acks_sent = 0
+        self.ack_bytes = 0.0
+        for p in injector.plan.partitions:
+            if math.isfinite(p.heal_ms):
+                self.sim.schedule_at(
+                    max(self.sim.now, p.heal_ms),
+                    lambda p=p: self.on_heal(p.heal_ms, p.group),
+                    label=f"heal partition {sorted(p.group)}",
+                )
+
+    # ------------------------------------------------------------------
+    def channel(self, src: int, dst: int) -> ReliableChannel:
+        key = (src, dst)
+        ch = self._channels.get(key)
+        if ch is None:
+            ch = self._channels[key] = ReliableChannel(self, src, dst)
+        return ch
+
+    def send(self, src: int, dst: int, message: object,
+             size_bytes: float) -> Optional[float]:
+        return self.channel(src, dst).send(message, size_bytes)
+
+    def deliver_packet(self, phys_src: int, phys_dst: int, packet: object) -> None:
+        """Physical delivery entry point (called by the network)."""
+        if isinstance(packet, AckPacket):
+            # an ack for channel (a -> b) travels physically b -> a
+            ch = self._channels.get((phys_dst, phys_src))
+            if ch is not None:
+                ch.on_ack(packet.cumulative)
+            return
+        assert isinstance(packet, DataPacket)
+        self.channel(phys_src, phys_dst).on_data(packet)
+
+    # ------------------------------------------------------------------
+    # plumbing back into the network
+    # ------------------------------------------------------------------
+    def transmit(self, src: int, dst: int, packet: object,
+                 size_bytes: float) -> Optional[float]:
+        return self.net._transmit_raw(src, dst, packet, size_bytes)
+
+    def deliver_app(self, src: int, dst: int, payload: object) -> None:
+        self.net._deliver_app(src, dst, payload)
+
+    def send_ack(self, from_site: int, to_site: int, cumulative: int) -> None:
+        self.acks_sent += 1
+        self.ack_bytes += ACK_SIZE_BYTES
+        if self.net.collector is not None:
+            self.net.collector.record_ack(ACK_SIZE_BYTES)
+        self.net._transmit_raw(from_site, to_site, AckPacket(cumulative),
+                               ACK_SIZE_BYTES)
+
+    def count_retransmission(self) -> None:
+        self.retransmissions += 1
+        if self.net.collector is not None:
+            self.net.collector.record_retransmission()
+
+    def count_duplicate_drop(self) -> None:
+        self.duplicate_drops += 1
+        if self.net.collector is not None:
+            self.net.collector.record_duplicate_drop()
+
+    # ------------------------------------------------------------------
+    # heal handling & recovery-latency tracking
+    # ------------------------------------------------------------------
+    def on_heal(self, heal_time: float, group: frozenset[int]) -> None:
+        """A partition isolating ``group`` healed: retransmit eagerly and
+        start the per-site recovery clock for every site with a backlog."""
+        for (src, dst), ch in self._channels.items():
+            if ((src in group) != (dst in group)) and ch.unacked:
+                self._recovering.setdefault(dst, heal_time)
+                ch.flush_retransmit()
+
+    def note_drained(self, channel: ReliableChannel) -> None:
+        """A channel's unacked buffer emptied; close out recovery if the
+        destination site has no backlog left anywhere."""
+        site = channel.dst
+        heal_time = self._recovering.get(site)
+        if heal_time is None:
+            return
+        if any(ch.unacked for (_, d), ch in self._channels.items() if d == site):
+            return
+        del self._recovering[site]
+        if self.net.collector is not None:
+            self.net.collector.record_recovery(site, self.sim.now - heal_time)
+
+    def blocked_channels(self, now: float) -> list[tuple[int, int]]:
+        """Channels with unacked packets severed by a never-healing
+        partition — traffic that can never drain without a ``heal()``."""
+        blocked = []
+        for (src, dst), ch in self._channels.items():
+            if ch.unacked and self.injector.severed(src, dst, now) and any(
+                (src in g) != (dst in g)
+                for g in self.injector.unhealed_partitions(now)
+            ):
+                blocked.append((src, dst))
+        return blocked
+
+    def unacked_count(self) -> int:
+        """Packets somewhere between first transmission and ack."""
+        return sum(len(ch.unacked) for ch in self._channels.values())

@@ -36,4 +36,5 @@ def test_example_runs(path, capsys):
 def test_expected_examples_present():
     names = {p.stem for p in EXAMPLES}
     assert {"quickstart", "social_network", "protocol_comparison",
-            "geo_replicated_store", "fault_tolerance"} <= names
+            "geo_replicated_store", "fault_tolerance",
+            "chaos_recovery"} <= names

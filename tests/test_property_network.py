@@ -88,6 +88,7 @@ class TestNetworkProperties:
             net.send(0, 1, k)
         sim.run()
         net.resume_site(1)
+        sim.run()  # the flush is scheduled through the event loop
         assert got == list(range(n_msgs))
 
 
