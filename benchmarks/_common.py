@@ -23,6 +23,7 @@ from __future__ import annotations
 import functools
 import os
 import sys
+import time
 
 from repro.experiments.configs import bench_ops, bench_seeds
 from repro.experiments.report import ascii_chart, format_table
@@ -45,9 +46,20 @@ SEEDS = tuple(range(bench_seeds()))
 @functools.lru_cache(maxsize=None)
 def cell(protocol: str, n: int, write_rate: float, ops: int = OPS,
          seeds: tuple = SEEDS):
-    """Session-cached grid cell (averaged over seeds)."""
-    return averaged_cell(protocol, n, write_rate,
-                         ops_per_process=ops, seeds=seeds)
+    """Session-cached grid cell (averaged over seeds).
+
+    Each fresh (non-cached) cell reports its wall-clock cost and event
+    throughput on stderr so standalone bench runs show where the time
+    goes; the numbers also ride along in the returned ``CellResult``
+    (``wall_ms``, ``events_per_sec``).
+    """
+    result = averaged_cell(protocol, n, write_rate,
+                           ops_per_process=ops, seeds=seeds)
+    print(f"[cell] {protocol} n={n} w={write_rate}: "
+          f"{result['wall_ms']:.0f} ms/run, "
+          f"{result['events_per_sec']:,.0f} events/s",
+          file=sys.stderr)
+    return result
 
 
 @functools.lru_cache(maxsize=None)
@@ -162,5 +174,7 @@ def run_standalone(test_fn):
 
     print(f"ops per process = {OPS}, seeds = {len(SEEDS)} "
           f"(paper scale: REPRO_BENCH_OPS=600)")
+    t0 = time.perf_counter()
     test_fn(_NullBenchmark())
+    print(f"\nbench wall time: {time.perf_counter() - t0:.2f}s")
     return 0

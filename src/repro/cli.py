@@ -125,14 +125,36 @@ def build_parser() -> argparse.ArgumentParser:
     cross_p = sub.add_parser("crossover", help="eq. (2) thresholds")
     cross_p.add_argument("--max-n", type=int, default=40)
 
-    trace_p = sub.add_parser("trace",
-                             help="run a simulation and save workload + history")
-    trace_p.add_argument("outdir", metavar="DIR")
-    trace_p.add_argument("--protocol", default="opt-track", choices=protocol_names())
-    trace_p.add_argument("-n", "--sites", type=int, default=6)
-    trace_p.add_argument("-w", "--write-rate", type=float, default=0.5)
-    trace_p.add_argument("--ops", type=int, default=100)
-    trace_p.add_argument("--seed", type=int, default=0)
+    trace_p = sub.add_parser(
+        "trace", help="record, summarize, or diff causal execution traces")
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    trace_run_p = trace_sub.add_parser(
+        "run", help="run a traced simulation, exporting JSONL + Chrome traces")
+    trace_run_p.add_argument("outdir", metavar="DIR")
+    trace_run_p.add_argument("--protocol", default="opt-track",
+                             choices=protocol_names())
+    trace_run_p.add_argument("-n", "--sites", type=int, default=6)
+    trace_run_p.add_argument("-w", "--write-rate", type=float, default=0.5)
+    trace_run_p.add_argument("--ops", type=int, default=100)
+    trace_run_p.add_argument("--seed", type=int, default=0)
+    trace_run_p.add_argument("--latency", default="uniform",
+                             choices=sorted(_LATENCIES))
+    trace_run_p.add_argument("--top", type=int, default=3,
+                             help="slowest activations to explain in the summary")
+    _add_fault_args(trace_run_p)
+
+    trace_sum_p = trace_sub.add_parser(
+        "summarize", help="tail latencies + slowest causal chains of a trace")
+    trace_sum_p.add_argument("trace", metavar="TRACE_JSONL",
+                             help="trace file written by `repro trace run`")
+    trace_sum_p.add_argument("--top", type=int, default=3,
+                             help="slowest activations to explain")
+
+    trace_diff_p = trace_sub.add_parser(
+        "diff", help="compare event counts and tail latencies of two traces")
+    trace_diff_p.add_argument("trace_a", metavar="TRACE_A")
+    trace_diff_p.add_argument("trace_b", metavar="TRACE_B")
 
     verify_p = sub.add_parser("verify-trace",
                               help="re-check a saved history offline")
@@ -304,17 +326,31 @@ def _cmd_crossover(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _cmd_trace_run,
+        "summarize": _cmd_trace_summarize,
+        "diff": _cmd_trace_diff,
+    }
+    return handlers[args.trace_command](args)
+
+
+def _cmd_trace_run(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
+    from .obs import Tracer, summarize_trace, write_chrome, write_jsonl
     from .workload.traces import save_history, save_workload
 
     cfg = SimulationConfig(
         protocol=args.protocol, n_sites=args.sites, n_vars=20,
         write_rate=args.write_rate, ops_per_process=args.ops,
-        seed=args.seed, record_history=True,
+        seed=args.seed, latency=_LATENCIES[args.latency](),
+        record_history=True,
+        fault_plan=_fault_plan_from_args(args),
+        fault_seed=args.fault_seed,
     )
-    result = run_simulation(cfg)
+    tracer = Tracer()
+    result = run_simulation(cfg, tracer=tracer)
     out = Path(args.outdir)
     out.mkdir(parents=True, exist_ok=True)
     save_workload(result.workload, out / "workload.json")
@@ -329,13 +365,34 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         "ops_per_process": cfg.ops_per_process,
         "seed": cfg.seed,
     }))
-    print(f"saved workload, history ({len(result.history)} events), and "
-          f"config to {out}")
+    trace = tracer.to_trace()
+    write_jsonl(trace, out / "trace.jsonl")
+    write_chrome(trace, out / "trace_chrome.json")
+    print(f"saved workload, history ({len(result.history)} events), trace "
+          f"({len(trace.events)} spans), and config to {out}")
+    print(f"open {out / 'trace_chrome.json'} in https://ui.perfetto.dev "
+          "to browse the per-site timeline")
     if args.protocol in ("opt-track", "opt-track-noprune"):
         from .analysis.logstats import format_log_report, snapshot_logs
 
         print()
         print(format_log_report(snapshot_logs(result.protocols)))
+    print()
+    print(summarize_trace(trace, top=args.top))
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from .obs import load_trace, summarize_trace
+
+    print(summarize_trace(load_trace(args.trace), top=args.top))
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from .obs import diff_traces, load_trace
+
+    print(diff_traces(load_trace(args.trace_a), load_trace(args.trace_b)))
     return 0
 
 

@@ -31,6 +31,7 @@ from .experiments.runner import SimulationConfig
 from .memory.store import SiteStore, WriteId
 from .metrics.collector import MetricsCollector
 from .metrics.sizing import DEFAULT_SIZE_MODEL, SizeModel
+from .obs.tracer import Tracer
 from .sim.engine import Simulator
 from .sim.faults import FaultInjector, FaultPlan
 from .sim.network import LatencyModel, Network, UniformLatency
@@ -60,6 +61,7 @@ class CausalCluster:
         fault_plan: Optional[FaultPlan] = None,
         fault_seed: int = 0,
         retransmit: Optional[RetransmitPolicy] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         # Reuse SimulationConfig purely for validation + placement logic.
         config = SimulationConfig(
@@ -88,11 +90,18 @@ class CausalCluster:
                     np.random.SeedSequence(fault_seed).spawn(1)[0]
                 ),
             )
+        self.tracer = tracer
+        if tracer is not None:
+            self.sim.observer = tracer.on_sim_event
+            tracer.meta.setdefault("protocol", protocol)
+            tracer.meta.setdefault("n_sites", n_sites)
+            tracer.meta.setdefault("seed", seed)
         self.network = Network(
             self.sim, n_sites, config.latency,
             rng=np.random.default_rng(np.random.SeedSequence(seed).spawn(1)[0]),
             bandwidth_bytes_per_ms=bandwidth_bytes_per_ms,
             faults=self.faults, collector=self.collector, retransmit=retransmit,
+            tracer=tracer,
         )
         self.collector.start_measuring()  # no warm-up in interactive mode
         self.history = HistoryRecorder(enabled=record_history)
@@ -108,6 +117,7 @@ class CausalCluster:
                 collector=self.collector,
                 size_model=size_model,
                 history=self.history,
+                tracer=tracer,
             )
             proto = create_protocol(protocol, ctx)
             self.network.register(i, proto.on_message)

@@ -33,6 +33,7 @@ from ..memory.replication import Placement
 from ..memory.store import SiteStore, WriteId
 from ..metrics.collector import MessageKind, MetricsCollector
 from ..metrics.sizing import SizeModel
+from ..obs.tracer import Tracer
 from ..sim.engine import Simulator
 from ..sim.network import Network
 from ..verify.history import HistoryRecorder
@@ -66,6 +67,8 @@ class ProtocolContext:
     collector: MetricsCollector
     size_model: SizeModel
     history: HistoryRecorder = field(default_factory=lambda: HistoryRecorder(enabled=False))
+    #: observability hooks; None (the default) is the zero-overhead path
+    tracer: Optional[Tracer] = None
 
 
 @dataclass(eq=False)  # identity equality: buffered entries must be distinct
@@ -216,6 +219,7 @@ class CausalProtocol(abc.ABC):
                 # lists (appended items are visited later in the same
                 # pass), and in-place deletion keeps the scan O(P) per
                 # application instead of O(P^2)
+                tracer = self.ctx.tracer
                 i = 0
                 while i < len(self._pending_sm):
                     pending = self._pending_sm[i]
@@ -226,7 +230,19 @@ class CausalProtocol(abc.ABC):
                             # only genuinely buffered updates count: an
                             # immediately-applicable SM has no gating cost
                             self.ctx.collector.record_activation_delay(delay)
-                        self._apply_sm(pending.src, pending.message)
+                        if tracer is None:
+                            self._apply_sm(pending.src, pending.message)
+                        else:
+                            # the activation event becomes the causal parent
+                            # of anything the apply triggers (e.g. a newly
+                            # unblocked fetch reply)
+                            tracer.sm_activate(self.site, pending.message,
+                                               ts=self.ctx.sim.now,
+                                               arrived=pending.arrived)
+                            try:
+                                self._apply_sm(pending.src, pending.message)
+                            finally:
+                                tracer.pop()
                         progress = True
                     else:
                         i += 1
@@ -235,7 +251,17 @@ class CausalProtocol(abc.ABC):
                     pending = self._pending_rm[i]
                     if self._rm_ready(pending.src, pending.message):
                         del self._pending_rm[i]
-                        self._complete_rm(pending.src, pending.message)
+                        if tracer is None:
+                            self._complete_rm(pending.src, pending.message)
+                        else:
+                            tracer.gated_resolved("rm.complete", self.site,
+                                                  pending.message,
+                                                  ts=self.ctx.sim.now,
+                                                  arrived=pending.arrived)
+                            try:
+                                self._complete_rm(pending.src, pending.message)
+                            finally:
+                                tracer.pop()
                         progress = True
                     else:
                         i += 1
@@ -244,7 +270,17 @@ class CausalProtocol(abc.ABC):
                     pending = self._pending_fm[i]
                     if self._fm_ready(pending.message):
                         del self._pending_fm[i]
-                        self._serve_fetch(pending.src, pending.message)
+                        if tracer is None:
+                            self._serve_fetch(pending.src, pending.message)
+                        else:
+                            tracer.gated_resolved("fm.serve", self.site,
+                                                  pending.message,
+                                                  ts=self.ctx.sim.now,
+                                                  arrived=pending.arrived)
+                            try:
+                                self._serve_fetch(pending.src, pending.message)
+                            finally:
+                                tracer.pop()
                         progress = True
                     else:
                         i += 1
@@ -261,6 +297,10 @@ class CausalProtocol(abc.ABC):
         """
         size = message.metadata_size(self.ctx.size_model)  # type: ignore[attr-defined]
         self.ctx.collector.record_message(kind, size)
+        if self.ctx.tracer is not None:
+            self.ctx.tracer.msg_send(self.site, dst, message,
+                                     ts=self.ctx.sim.now,
+                                     kind=kind.value, size=size)
         self.ctx.history.record_send(
             time=self.ctx.sim.now, site=self.site, peer=dst,
             detail=type(message).__name__,

@@ -69,6 +69,9 @@ class FullTrackProtocol(CausalProtocol):
             time=ctx.sim.now, site=self.site, var=var, value=value,
             write_id=wid, op_index=op_index,
         )
+        if ctx.tracer is not None:
+            ctx.tracer.write_issued(self.site, ctx.sim.now, writer=wid.site,
+                                    clock=wid.clock, var=var)
         sm = FullTrackSM(var=var, value=value, write_id=wid, matrix=snapshot,
                          issued_at=ctx.sim.now)
         self._multicast(dests, lambda d: sm, MessageKind.SM)

@@ -77,6 +77,10 @@ class OptTrackProtocol(CausalProtocol):
             time=ctx.sim.now, site=self.site, var=var, value=value,
             write_id=wid, op_index=op_index,
         )
+        if ctx.tracer is not None:
+            ctx.tracer.write_issued(self.site, ctx.sim.now, writer=wid.site,
+                                    clock=wid.clock, var=var,
+                                    log_size=len(self.log))
 
         # Per-destination piggyback views are computed against the
         # pre-write log; each copy keeps its own receiver in the

@@ -61,6 +61,10 @@ class OptTrackCRPProtocol(CausalProtocol):
             time=ctx.sim.now, site=self.site, var=var, value=value,
             write_id=wid, op_index=op_index,
         )
+        if ctx.tracer is not None:
+            ctx.tracer.write_issued(self.site, ctx.sim.now, writer=wid.site,
+                                    clock=wid.clock, var=var,
+                                    log_size=len(self.log))
 
         piggy = self.log.entries()  # the write's dependencies (pre-reset log)
         sm = CRPSM(var=var, value=value, write_id=wid, log=piggy,

@@ -56,6 +56,9 @@ class OptPProtocol(CausalProtocol):
             time=ctx.sim.now, site=self.site, var=var, value=value,
             write_id=wid, op_index=op_index,
         )
+        if ctx.tracer is not None:
+            ctx.tracer.write_issued(self.site, ctx.sim.now, writer=wid.site,
+                                    clock=wid.clock, var=var)
         sm = OptPSM(var=var, value=value, write_id=wid, vector=snapshot,
                     issued_at=ctx.sim.now)
         self._multicast(range(self.n), lambda d: sm, MessageKind.SM)

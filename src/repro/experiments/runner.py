@@ -36,6 +36,7 @@ from ..memory.replication import (
 from ..memory.store import SiteStore
 from ..metrics.collector import MetricsCollector
 from ..metrics.sizing import DEFAULT_SIZE_MODEL, SizeModel
+from ..obs.tracer import Tracer
 from ..sim.engine import Simulator
 from ..sim.faults import FaultInjector, FaultPlan
 from ..sim.network import LatencyModel, Network, UniformLatency
@@ -163,11 +164,17 @@ def build_placement(config: SimulationConfig) -> Placement:
 def run_simulation(
     config: SimulationConfig,
     workload: Optional[Workload] = None,
+    tracer: Optional[Tracer] = None,
 ) -> RunResult:
     """Execute one full simulation run and return its measurements.
 
     A caller-provided ``workload`` overrides generation — that is how
     the *same* schedule is replayed through different protocols.
+
+    A caller-provided ``tracer`` records causally-linked span events for
+    every operation and message hop; ``None`` (the default) keeps the
+    instrumented paths byte-identical to the untraced seed behavior,
+    mirroring the ``fault_plan=None`` contract.
     """
     if workload is None:
         workload = generate_workload(
@@ -200,8 +207,14 @@ def run_simulation(
     network = Network(sim, config.n_sites, config.latency, rng=net_rng,
                       bandwidth_bytes_per_ms=config.bandwidth_bytes_per_ms,
                       faults=faults, collector=collector,
-                      retransmit=config.retransmit)
+                      retransmit=config.retransmit, tracer=tracer)
     history = HistoryRecorder(enabled=config.record_history)
+    if tracer is not None:
+        sim.observer = tracer.on_sim_event
+        tracer.meta.setdefault("protocol", config.protocol)
+        tracer.meta.setdefault("n_sites", config.n_sites)
+        tracer.meta.setdefault("ops_per_process", config.ops_per_process)
+        tracer.meta.setdefault("seed", config.seed)
 
     # Warm-up gate: open the measurement window once the first
     # ceil(fraction * total) operations have *started* (paper Sec. V).
@@ -231,11 +244,13 @@ def run_simulation(
             collector=collector,
             size_model=config.size_model,
             history=history,
+            tracer=tracer,
         )
         proto = create_protocol(config.protocol, ctx)
         network.register(i, proto.on_message)
         protocols.append(proto)
-        sites.append(Site(proto, workload.for_site(i), sim, on_operation=on_operation))
+        sites.append(Site(proto, workload.for_site(i), sim,
+                          on_operation=on_operation, tracer=tracer))
 
     for site in sites:
         site.start()

@@ -12,6 +12,7 @@ replays it through each protocol.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable
 
 from ..workload.generator import generate_workload
@@ -95,7 +96,18 @@ def averaged_cell(
             protocol, n, write_rate,
             ops_per_process=ops_per_process, seed=seed, n_vars=n_vars, **overrides,
         )
-        summaries.append(run_simulation(cfg).summary())
+        t0 = time.perf_counter()
+        result = run_simulation(cfg)
+        wall_s = time.perf_counter() - t0
+        summary = result.summary()
+        # host-side throughput: wall-clock cost of the cell and how fast
+        # the event loop chewed through it (kept out of RunResult.summary,
+        # which must stay deterministic per seed)
+        summary["wall_ms"] = wall_s * 1e3
+        summary["events_per_sec"] = (
+            result.total_sim_events / wall_s if wall_s > 0 else 0.0
+        )
+        summaries.append(summary)
     if not summaries:
         raise ValueError("need at least one seed")
     return _numeric_mean(summaries)

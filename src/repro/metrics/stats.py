@@ -3,18 +3,31 @@
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
-__all__ = ["RunningStat", "Summary", "summarize", "percentile"]
+__all__ = ["RunningStat", "Summary", "summarize", "percentile", "RESERVOIR_CAPACITY"]
+
+#: samples kept per stream for percentile estimation; below this size the
+#: reservoir holds every sample and percentiles are exact
+RESERVOIR_CAPACITY = 1024
+
+#: fixed seed for the per-stat reservoir sampler — two stats fed the same
+#: sample stream keep identical reservoirs, so traced and untraced runs
+#: (and repeated runs) report identical percentiles
+_RESERVOIR_SEED = 0x5EED
 
 
 @dataclass
 class RunningStat:
     """Streaming count/mean/variance/min/max (Welford's algorithm).
 
-    O(1) memory; used for per-message-size statistics where a simulation
-    can generate hundreds of thousands of samples.
+    O(1) memory for the moments; used for per-message-size statistics
+    where a simulation can generate hundreds of thousands of samples.
+    A bounded reservoir (Vitter's algorithm R, deterministic seed) rides
+    along so every consumer also gets p50/p95/p99 estimates — exact
+    whenever the stream fits in :data:`RESERVOIR_CAPACITY`.
     """
 
     count: int = 0
@@ -23,6 +36,8 @@ class RunningStat:
     minimum: float = math.inf
     maximum: float = -math.inf
     total: float = 0.0
+    _reservoir: list = field(default_factory=list, repr=False)
+    _sampler: Optional[random.Random] = field(default=None, repr=False, compare=False)
 
     def add(self, x: float) -> None:
         self.count += 1
@@ -34,6 +49,14 @@ class RunningStat:
             self.minimum = x
         if x > self.maximum:
             self.maximum = x
+        if len(self._reservoir) < RESERVOIR_CAPACITY:
+            self._reservoir.append(x)
+        else:
+            if self._sampler is None:
+                self._sampler = random.Random(_RESERVOIR_SEED)
+            j = self._sampler.randrange(self.count)
+            if j < RESERVOIR_CAPACITY:
+                self._reservoir[j] = x
 
     def extend(self, xs: Iterable[float]) -> None:
         for x in xs:
@@ -48,8 +71,46 @@ class RunningStat:
     def stdev(self) -> float:
         return math.sqrt(self.variance)
 
+    def percentile(self, q: float) -> float:
+        """Percentile estimate from the reservoir (0.0 for an empty stream).
+
+        Exact while fewer than :data:`RESERVOIR_CAPACITY` samples were
+        seen; an unbiased uniform-subsample estimate beyond that.
+        """
+        if not self._reservoir:
+            return 0.0
+        return percentile(sorted(self._reservoir), q)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def quantiles(self) -> dict:
+        """The standard tail snapshot: {"p50": ..., "p95": ..., "p99": ...}."""
+        data = sorted(self._reservoir)
+        if not data:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "p50": percentile(data, 50),
+            "p95": percentile(data, 95),
+            "p99": percentile(data, 99),
+        }
+
     def merge(self, other: "RunningStat") -> "RunningStat":
-        """Combine two streams (Chan et al. parallel variance formula)."""
+        """Combine two streams (Chan et al. parallel variance formula).
+
+        Reservoirs are combined by count-weighted deterministic
+        subsampling, keeping the merged reservoir a uniform-ish sample
+        of the concatenated stream.
+        """
         if other.count == 0:
             return self
         if self.count == 0:
@@ -59,7 +120,10 @@ class RunningStat:
             self.minimum = other.minimum
             self.maximum = other.maximum
             self.total = other.total
+            self._reservoir = list(other._reservoir)
+            self._sampler = None
             return self
+        merged_pool = self._merged_reservoir(other)
         n = self.count + other.count
         delta = other.mean - self.mean
         self._m2 += other._m2 + delta * delta * self.count * other.count / n
@@ -68,7 +132,27 @@ class RunningStat:
         self.total += other.total
         self.minimum = min(self.minimum, other.minimum)
         self.maximum = max(self.maximum, other.maximum)
+        self._reservoir = merged_pool
+        self._sampler = None
         return self
+
+    def _merged_reservoir(self, other: "RunningStat") -> list:
+        pool = self._reservoir + other._reservoir
+        if len(pool) <= RESERVOIR_CAPACITY:
+            return pool
+        # weight by stream size: sample proportionally, deterministically
+        rng = random.Random(_RESERVOIR_SEED)
+        keep_self = max(1, round(
+            RESERVOIR_CAPACITY * self.count / (self.count + other.count)
+        ))
+        keep_other = RESERVOIR_CAPACITY - keep_self
+        out = list(self._reservoir)
+        if len(out) > keep_self:
+            out = rng.sample(out, keep_self)
+        tail = list(other._reservoir)
+        if len(tail) > keep_other:
+            tail = rng.sample(tail, max(0, keep_other))
+        return out + tail
 
 
 @dataclass(frozen=True)
@@ -83,6 +167,7 @@ class Summary:
     total: float
     p50: float
     p95: float
+    p99: float = 0.0
 
 
 def percentile(sorted_xs: Sequence[float], q: float) -> float:
@@ -106,7 +191,7 @@ def summarize(xs: Iterable[float]) -> Summary:
     """Descriptive statistics of a finite sample (materializes it once)."""
     data = sorted(float(x) for x in xs)
     if not data:
-        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
     rs = RunningStat()
     rs.extend(data)
     return Summary(
@@ -118,4 +203,5 @@ def summarize(xs: Iterable[float]) -> Summary:
         total=rs.total,
         p50=percentile(data, 50),
         p95=percentile(data, 95),
+        p99=percentile(data, 99),
     )

@@ -1,0 +1,268 @@
+"""Trace analysis: tail statistics, causal chains, summaries, diffs.
+
+Works on any :class:`~repro.obs.tracer.Trace` — live from a
+:class:`~repro.obs.tracer.Tracer` or loaded from a JSONL file written by
+:func:`repro.obs.sinks.write_jsonl`.  The headline question it answers
+is the one end-of-run aggregates cannot: *why was this particular update
+late?* — by walking the parent links back through the exact message hops
+(send → attempts → retransmits → deliver → activate) and the messages a
+buffered update waited on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..metrics.stats import percentile
+from .tracer import Trace, TraceEvent
+
+__all__ = [
+    "TraceIndex",
+    "MessageChain",
+    "visibility_stats",
+    "slowest_activations",
+    "causal_chain",
+    "format_chain",
+    "summarize_trace",
+    "diff_traces",
+]
+
+
+@dataclass
+class MessageChain:
+    """Everything that happened to one message copy, in hop order."""
+
+    send: TraceEvent
+    attempts: list[TraceEvent] = field(default_factory=list)
+    retransmits: list[TraceEvent] = field(default_factory=list)
+    deliver: Optional[TraceEvent] = None
+    activate: Optional[TraceEvent] = None
+
+
+class TraceIndex:
+    """Secondary indexes over a trace (build once, query many)."""
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.by_id: dict[int, TraceEvent] = trace.by_id()
+        self.children: dict[int, list[TraceEvent]] = {}
+        for ev in trace.events:
+            if ev.parent is not None:
+                self.children.setdefault(ev.parent, []).append(ev)
+        self.chains: dict[int, MessageChain] = {}
+        for ev in trace.events:
+            if ev.kind == "msg.send":
+                self.chains[ev.id] = MessageChain(send=ev)
+        for ev in trace.events:
+            if ev.parent is None:
+                continue
+            chain = self.chains.get(ev.parent)
+            if chain is not None:
+                if ev.kind == "msg.attempt":
+                    chain.attempts.append(ev)
+                elif ev.kind == "msg.retransmit":
+                    chain.retransmits.append(ev)
+                elif ev.kind == "msg.deliver" and chain.deliver is None:
+                    chain.deliver = ev
+            elif ev.kind in ("sm.activate", "fm.serve", "rm.complete"):
+                deliver = self.by_id.get(ev.parent)
+                if deliver is not None and deliver.parent in self.chains:
+                    self.chains[deliver.parent].activate = ev
+
+    def chain_of_send(self, send_id: int) -> Optional[MessageChain]:
+        return self.chains.get(send_id)
+
+
+# ----------------------------------------------------------------------
+# tail statistics
+# ----------------------------------------------------------------------
+def visibility_stats(trace: Trace) -> dict:
+    """Exact visibility-lag distribution from every ``sm.activate``."""
+    lags = sorted(
+        ev.attrs["visibility_ms"]
+        for ev in trace.of_kind("sm.activate")
+        if "visibility_ms" in ev.attrs
+    )
+    if not lags:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                "p99": 0.0, "max": 0.0}
+    return {
+        "count": len(lags),
+        "mean": sum(lags) / len(lags),
+        "p50": percentile(lags, 50),
+        "p95": percentile(lags, 95),
+        "p99": percentile(lags, 99),
+        "max": lags[-1],
+    }
+
+
+def activation_wait_stats(trace: Trace) -> dict:
+    """Distribution of the time buffered updates spent waiting."""
+    waits = sorted(
+        ev.attrs["waited_ms"]
+        for ev in trace.of_kind("sm.activate")
+        if ev.attrs.get("waited_ms", 0.0) > 0.0
+    )
+    if not waits:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                "p99": 0.0, "max": 0.0}
+    return {
+        "count": len(waits),
+        "mean": sum(waits) / len(waits),
+        "p50": percentile(waits, 50),
+        "p95": percentile(waits, 95),
+        "p99": percentile(waits, 99),
+        "max": waits[-1],
+    }
+
+
+def slowest_activations(trace: Trace, k: int = 3) -> list[TraceEvent]:
+    """Top-k ``sm.activate`` events by buffered wait time (descending)."""
+    acts = [ev for ev in trace.of_kind("sm.activate")
+            if ev.attrs.get("waited_ms", 0.0) > 0.0]
+    acts.sort(key=lambda ev: (-ev.attrs["waited_ms"], ev.id))
+    return acts[:k]
+
+
+# ----------------------------------------------------------------------
+# causal chains
+# ----------------------------------------------------------------------
+def _describe_write(attrs: dict) -> str:
+    if "writer" in attrs:
+        return f"w{attrs['writer']}.{attrs['clock']}(x{attrs.get('var', '?')})"
+    return f"x{attrs.get('var', '?')}"
+
+
+def causal_chain(index: TraceIndex, activate: TraceEvent) -> list[str]:
+    """Human-readable chain: the message's hops, then (recursively one
+    level) the messages the activation waited on."""
+    lines: list[str] = []
+    lines.extend(_message_hops(index, activate, prefix=""))
+    waited = activate.attrs.get("waited_on", [])
+    if waited:
+        lines.append(f"  waited on {len(waited)} message(s) applied "
+                     "during the buffering window:")
+        for send_id in waited:
+            chain = index.chain_of_send(send_id)
+            if chain is None:
+                continue
+            lines.extend(_message_hops(index, chain.activate or chain.send,
+                                       prefix="    ", chain=chain))
+    truncated = activate.attrs.get("waited_on_truncated")
+    if truncated:
+        lines.append(f"    ... and {truncated} more")
+    return lines
+
+
+def _message_hops(index: TraceIndex, terminal: Optional[TraceEvent], *,
+                  prefix: str, chain: Optional[MessageChain] = None) -> list[str]:
+    """Describe one message's journey ending at ``terminal``."""
+    if terminal is None:
+        return []
+    if chain is None:
+        deliver = (index.by_id.get(terminal.parent)
+                   if terminal.parent is not None else None)
+        send_id = deliver.parent if deliver is not None else None
+        chain = index.chain_of_send(send_id) if send_id is not None else None
+    if chain is None:
+        return [f"{prefix}- {terminal.kind} @ site {terminal.site} "
+                f"t={terminal.ts:.1f}ms (no message correlation)"]
+    send = chain.send
+    hops = [f"send {send.attrs.get('msg', '?')} site {send.site}"
+            f"→{send.attrs.get('dst')} @ {send.ts:.1f}ms"]
+    for att in chain.attempts:
+        out = att.attrs.get("outcome")
+        if out == "dropped":
+            hops.append(f"attempt#{att.attrs.get('attempt')} DROPPED"
+                        + (" (partition)" if att.attrs.get("partition") else "")
+                        + f" @ {att.ts:.1f}ms")
+        elif att.attrs.get("spike_ms"):
+            hops.append(f"attempt#{att.attrs.get('attempt')} "
+                        f"+{att.attrs['spike_ms']:.0f}ms spike @ {att.ts:.1f}ms")
+    for rt in chain.retransmits:
+        hops.append(f"retransmit#{rt.attrs.get('n')} @ {rt.ts:.1f}ms")
+    if chain.deliver is not None:
+        hops.append(f"deliver @ {chain.deliver.ts:.1f}ms")
+    act = chain.activate if chain.activate is not None else terminal
+    if act is not None and act.kind == "sm.activate":
+        waited = act.attrs.get("waited_ms", 0.0)
+        if waited > 0:
+            hops.append(f"buffered {waited:.1f}ms")
+        hops.append(f"applied @ {act.ts:.1f}ms")
+    name = _describe_write(act.attrs if act is not None else send.attrs)
+    return [f"{prefix}- {name}: " + " → ".join(hops)]
+
+
+def format_chain(index: TraceIndex, activate: TraceEvent) -> str:
+    head = (f"{_describe_write(activate.attrs)} applied at site "
+            f"{activate.site} @ {activate.ts:.1f}ms — waited "
+            f"{activate.attrs.get('waited_ms', 0.0):.1f}ms buffered, "
+            f"visibility {activate.attrs.get('visibility_ms', 0.0):.1f}ms")
+    return "\n".join([head] + causal_chain(index, activate))
+
+
+# ----------------------------------------------------------------------
+# summaries and diffs
+# ----------------------------------------------------------------------
+def kind_counts(trace: Trace) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for ev in trace.events:
+        counts[ev.kind] = counts.get(ev.kind, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def summarize_trace(trace: Trace, top: int = 3) -> str:
+    """The ``repro trace summarize`` report body."""
+    lines: list[str] = []
+    meta = trace.meta
+    desc = ", ".join(f"{k}={meta[k]}" for k in
+                     ("protocol", "n_sites", "ops_per_process", "seed")
+                     if k in meta)
+    lines.append(f"trace: {desc or '(no metadata)'} — {len(trace.events)} events")
+    counts = kind_counts(trace)
+    lines.append("events by kind: "
+                 + ", ".join(f"{k}={v}" for k, v in counts.items()))
+    vis = visibility_stats(trace)
+    lines.append(
+        f"visibility lag ms ({vis['count']} applies): "
+        f"p50={vis['p50']:.1f} p95={vis['p95']:.1f} "
+        f"p99={vis['p99']:.1f} max={vis['max']:.1f}"
+    )
+    wait = activation_wait_stats(trace)
+    lines.append(
+        f"activation waits ms ({wait['count']} buffered): "
+        f"p50={wait['p50']:.1f} p95={wait['p95']:.1f} "
+        f"p99={wait['p99']:.1f} max={wait['max']:.1f}"
+    )
+    slow = slowest_activations(trace, top)
+    if slow:
+        index = TraceIndex(trace)
+        lines.append(f"\ntop {len(slow)} slowest activations:")
+        for rank, ev in enumerate(slow, 1):
+            lines.append(f"\n#{rank} " + format_chain(index, ev))
+    else:
+        lines.append("no update ever buffered — every SM was immediately "
+                     "applicable")
+    return "\n".join(lines)
+
+
+def diff_traces(a: Trace, b: Trace) -> str:
+    """Compare two traces: event populations and tail latencies."""
+    lines = ["metric                          trace A      trace B        delta"]
+
+    def row(name: str, va: float, vb: float, fmt: str = "{:.1f}") -> None:
+        lines.append(f"{name:28s} {fmt.format(va):>12s} {fmt.format(vb):>12s} "
+                     f"{fmt.format(vb - va):>12s}")
+
+    ca, cb = kind_counts(a), kind_counts(b)
+    for kind in sorted(set(ca) | set(cb)):
+        row(f"events[{kind}]", ca.get(kind, 0), cb.get(kind, 0), "{:.0f}")
+    va, vb = visibility_stats(a), visibility_stats(b)
+    for q in ("p50", "p95", "p99", "max"):
+        row(f"visibility_{q}_ms", va[q], vb[q])
+    wa, wb = activation_wait_stats(a), activation_wait_stats(b)
+    row("buffered_count", wa["count"], wb["count"], "{:.0f}")
+    for q in ("p95", "max"):
+        row(f"activation_wait_{q}_ms", wa[q], wb[q])
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Trace sinks: JSONL files and Chrome ``trace_event`` JSON.
+
+Three ways to consume a trace:
+
+* **in-memory** — a live :class:`~repro.obs.tracer.Tracer` (or the
+  :class:`~repro.obs.tracer.Trace` from ``to_trace()``) is itself the
+  in-memory sink; the analysis helpers operate on it directly;
+* **JSONL** — :func:`write_jsonl` / :func:`load_trace` round-trip the
+  full structured trace (meta line, one event per line, time-series
+  trailer).  Output is byte-deterministic: same seed, same file;
+* **Chrome trace_event JSON** — :func:`write_chrome` emits the subset
+  Perfetto / ``chrome://tracing`` renders: one track (tid) per site,
+  operation and buffered-update slices, message-flow arrows from sender
+  to receiver, instants for drops and retransmits.
+
+Format reference: the Trace Event Format is stable and documented by
+the Chromium project; timestamps are microseconds, so simulated
+milliseconds are scaled by 1000.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .timeseries import TimeSeries
+from .tracer import Trace, TraceEvent, Tracer
+
+__all__ = ["write_jsonl", "load_trace", "to_chrome", "write_chrome"]
+
+TRACE_FORMAT_VERSION = 1
+
+_TraceLike = Union[Tracer, Trace]
+
+
+def _as_trace(trace: _TraceLike) -> Trace:
+    return trace.to_trace() if isinstance(trace, Tracer) else trace
+
+
+def _dumps(obj: dict) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def write_jsonl(trace: _TraceLike, path: Union[str, Path]) -> Path:
+    """Write the full structured trace to ``path`` (deterministic bytes)."""
+    trace = _as_trace(trace)
+    path = Path(path)
+    with path.open("w") as fh:
+        meta = {"type": "meta", "version": TRACE_FORMAT_VERSION}
+        meta.update(trace.meta)
+        fh.write(_dumps(meta) + "\n")
+        for ev in trace.events:
+            row = {"type": "event"}
+            row.update(ev.to_json())
+            fh.write(_dumps(row) + "\n")
+        trailer = {"type": "timeseries"}
+        trailer.update(trace.timeseries.as_dict())
+        fh.write(_dumps(trailer) + "\n")
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Load a trace written by :func:`write_jsonl`."""
+    meta: dict = {}
+    events: list[TraceEvent] = []
+    timeseries = TimeSeries()
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            kind = row.pop("type", "event")
+            if kind == "meta":
+                row.pop("version", None)
+                meta = row
+            elif kind == "timeseries":
+                timeseries = TimeSeries.from_dict(row)
+            else:
+                events.append(TraceEvent.from_json(row))
+    return Trace(meta=meta, events=events, timeseries=timeseries)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def _us(ts_ms: float) -> float:
+    return round(ts_ms * 1000.0, 3)
+
+
+def _sites_of(trace: Trace) -> list[int]:
+    n = trace.meta.get("n_sites")
+    if n:
+        return list(range(int(n)))
+    return sorted({ev.site for ev in trace.events})
+
+
+def _name_of_write(attrs: dict) -> str:
+    if "writer" in attrs:
+        return f"w{attrs['writer']}.{attrs['clock']}(x{attrs.get('var', '?')})"
+    return f"x{attrs.get('var', '?')}"
+
+
+def to_chrome(trace: _TraceLike) -> dict:
+    """Build a Chrome trace_event JSON object (one track per site)."""
+    trace = _as_trace(trace)
+    out: list[dict] = []
+    pid = 0
+    proto = trace.meta.get("protocol", "simulation")
+    out.append({"ph": "M", "pid": pid, "name": "process_name",
+                "args": {"name": f"repro {proto}"}})
+    for site in _sites_of(trace):
+        out.append({"ph": "M", "pid": pid, "tid": site, "name": "thread_name",
+                    "args": {"name": f"site {site}"}})
+        out.append({"ph": "M", "pid": pid, "tid": site, "name": "thread_sort_index",
+                    "args": {"sort_index": site}})
+
+    for ev in trace.events:
+        a = ev.attrs
+        if ev.kind in ("op.write", "op.read"):
+            end = a.get("end_ts", ev.ts)
+            name = ("write" if ev.kind == "op.write" else
+                    "remote read" if a.get("remote") else "read")
+            out.append({
+                "ph": "X", "pid": pid, "tid": ev.site, "ts": _us(ev.ts),
+                "dur": max(_us(end) - _us(ev.ts), 1.0),
+                "name": f"{name} x{a.get('var', '?')}",
+                "cat": "op", "args": {"index": a.get("index")},
+            })
+        elif ev.kind == "msg.send":
+            out.append({
+                "ph": "X", "pid": pid, "tid": ev.site, "ts": _us(ev.ts),
+                "dur": 1.0, "name": f"send {a.get('msg', '?')}→{a.get('dst')}",
+                "cat": "net", "args": {"size": a.get("size")},
+            })
+            out.append({"ph": "s", "pid": pid, "tid": ev.site, "ts": _us(ev.ts),
+                        "id": ev.id, "name": a.get("msg", "msg"), "cat": "net"})
+        elif ev.kind == "msg.deliver":
+            out.append({
+                "ph": "X", "pid": pid, "tid": ev.site, "ts": _us(ev.ts),
+                "dur": 1.0, "name": f"recv←{a.get('src')}",
+                "cat": "net", "args": {"latency_ms": a.get("latency_ms")},
+            })
+            if ev.parent is not None:
+                out.append({"ph": "f", "bp": "e", "pid": pid, "tid": ev.site,
+                            "ts": _us(ev.ts), "id": ev.parent,
+                            "name": "msg", "cat": "net"})
+        elif ev.kind == "sm.activate":
+            waited = a.get("waited_ms", 0.0)
+            if waited > 0:
+                out.append({
+                    "ph": "X", "pid": pid, "tid": ev.site,
+                    "ts": _us(a["arrived"]),
+                    "dur": max(_us(ev.ts) - _us(a["arrived"]), 1.0),
+                    "name": f"buffered {_name_of_write(a)}", "cat": "causal",
+                    "args": {"waited_ms": waited,
+                             "waited_on": a.get("waited_on", [])},
+                })
+            out.append({
+                "ph": "i", "pid": pid, "tid": ev.site, "ts": _us(ev.ts),
+                "s": "t", "name": f"apply {_name_of_write(a)}", "cat": "causal",
+                "args": {"visibility_ms": a.get("visibility_ms")},
+            })
+        elif ev.kind == "msg.retransmit":
+            out.append({"ph": "i", "pid": pid, "tid": ev.site, "ts": _us(ev.ts),
+                        "s": "t", "name": "retransmit", "cat": "chaos"})
+        elif ev.kind == "msg.attempt" and a.get("outcome") == "dropped":
+            out.append({"ph": "i", "pid": pid, "tid": ev.site, "ts": _us(ev.ts),
+                        "s": "t",
+                        "name": ("partition drop" if a.get("partition")
+                                 else "drop"),
+                        "cat": "chaos"})
+
+    # counter track: in-flight messages over time
+    for t, stat in trace.timeseries.series("net.in_flight"):
+        out.append({"ph": "C", "pid": pid, "tid": 0, "ts": _us(t),
+                    "name": "in_flight", "args": {"messages": stat.mean}})
+
+    return {"traceEvents": out, "displayTimeUnit": "ms",
+            "otherData": dict(trace.meta)}
+
+
+def write_chrome(trace: _TraceLike, path: Union[str, Path]) -> Path:
+    """Write the Perfetto-loadable Chrome trace JSON to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome(trace), sort_keys=True))
+    return path

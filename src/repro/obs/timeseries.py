@@ -1,0 +1,117 @@
+"""Time-series sampling against the simulated clock.
+
+The paper reports only end-of-run aggregates; protocol *dynamics* —
+when activation delays spike, how the in-flight population breathes
+around a partition heal, how fast a site's log grows — need quantities
+bucketed against simulated time.  :class:`TimeSeries` keeps one
+:class:`~repro.metrics.stats.RunningStat` per (series, bucket), so every
+bucket carries count/mean/min/max/percentiles at O(1) memory per bucket.
+
+Series are written by the tracer's instrumentation hooks; nothing here
+touches the simulation RNGs, so sampling never perturbs a run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..metrics.stats import RunningStat
+
+__all__ = ["TimeSeries", "DEFAULT_BUCKET_MS"]
+
+#: default bucket width; ~20 points across the paper's 2 s mean op gap
+DEFAULT_BUCKET_MS = 100.0
+
+
+class TimeSeries:
+    """Named series of per-bucket statistics over simulated time (ms)."""
+
+    def __init__(self, bucket_ms: float = DEFAULT_BUCKET_MS) -> None:
+        if bucket_ms <= 0:
+            raise ValueError("bucket width must be positive")
+        self.bucket_ms = float(bucket_ms)
+        # series name -> bucket index -> stat of samples in that bucket
+        self._series: dict[str, dict[int, RunningStat]] = {}
+
+    def _bucket(self, name: str, t: float) -> RunningStat:
+        buckets = self._series.setdefault(name, {})
+        idx = int(t // self.bucket_ms)
+        stat = buckets.get(idx)
+        if stat is None:
+            stat = buckets[idx] = RunningStat()
+        return stat
+
+    # ------------------------------------------------------------------
+    def observe(self, name: str, t: float, value: float) -> None:
+        """Record one sample of a gauge-like quantity at time ``t``."""
+        self._bucket(name, t).add(value)
+
+    def incr(self, name: str, t: float, n: float = 1.0) -> None:
+        """Count one occurrence of an event-like quantity at time ``t``.
+
+        The bucket's ``total`` is the per-bucket event count, so the
+        series doubles as a rate (events per ``bucket_ms``).
+        """
+        self._bucket(name, t).add(n)
+
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def series(self, name: str) -> list[tuple[float, RunningStat]]:
+        """(bucket start time, stat) pairs in time order."""
+        buckets = self._series.get(name, {})
+        return [(idx * self.bucket_ms, buckets[idx]) for idx in sorted(buckets)]
+
+    def points(self, name: str, field: str = "mean") -> list[tuple[float, float]]:
+        """(bucket start, value) pairs, with ``field`` one of
+        mean/total/count/maximum/minimum — chart-ready."""
+        return [(t, getattr(stat, field)) for t, stat in self.series(name)]
+
+    def rate(self, name: str) -> list[tuple[float, float]]:
+        """(bucket start, events per ms) pairs for a counter series."""
+        return [(t, stat.total / self.bucket_ms) for t, stat in self.series(name)]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot: {name: [{t, count, mean, min, max, total}]}."""
+        out: dict = {"bucket_ms": self.bucket_ms, "series": {}}
+        for name in self.names():
+            out["series"][name] = [
+                {
+                    "t": t,
+                    "count": stat.count,
+                    "mean": stat.mean,
+                    "min": stat.minimum,
+                    "max": stat.maximum,
+                    "total": stat.total,
+                }
+                for t, stat in self.series(name)
+            ]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimeSeries":
+        """Rebuild (approximately: per-bucket moments only) from a dump."""
+        ts = cls(bucket_ms=data.get("bucket_ms", DEFAULT_BUCKET_MS))
+        for name, rows in data.get("series", {}).items():
+            buckets = ts._series.setdefault(name, {})
+            for row in rows:
+                stat = RunningStat(
+                    count=int(row["count"]),
+                    mean=float(row["mean"]),
+                    minimum=float(row["min"]),
+                    maximum=float(row["max"]),
+                    total=float(row["total"]),
+                )
+                buckets[int(row["t"] // ts.bucket_ms)] = stat
+        return ts
+
+    def __repr__(self) -> str:
+        return f"<TimeSeries bucket={self.bucket_ms}ms series={self.names()}>"

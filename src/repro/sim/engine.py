@@ -73,6 +73,10 @@ class Simulator:
         self._processed = 0
         self._max_events = max_events
         self._running = False
+        #: optional per-event observer ``(time, pending_count)`` — used
+        #: by the tracer's time-series sampler (event throughput, queue
+        #: depth).  Purely passive; None costs one branch per event.
+        self.observer: Optional[Callable[[float, int], None]] = None
 
     # ------------------------------------------------------------------
     # clock & introspection
@@ -144,6 +148,8 @@ class Simulator:
                     f"event budget exceeded ({self._max_events}); "
                     "likely a protocol livelock"
                 )
+            if self.observer is not None:
+                self.observer(ev.time, len(self._queue))
             ev.callback()
             return True
         return False

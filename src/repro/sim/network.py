@@ -26,6 +26,7 @@ from .faults import FaultInjector
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..metrics.collector import MetricsCollector
+    from ..obs.tracer import Tracer
     from .reliable import RetransmitPolicy
 
 __all__ = [
@@ -186,6 +187,7 @@ class Network:
         faults: Optional[FaultInjector] = None,
         collector: Optional["MetricsCollector"] = None,
         retransmit: Optional["RetransmitPolicy"] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         if n_sites <= 0:
             raise ValueError("network needs at least one site")
@@ -207,6 +209,8 @@ class Network:
         self._held: dict[int, list[tuple[int, object]]] = {}
         # chaos stack (None = the default reliable path, zero overhead)
         self.collector = collector
+        # observability (None = untraced, zero overhead)
+        self.tracer = tracer
         self.faults = faults
         if faults is not None:
             from .reliable import ReliableTransport
@@ -331,7 +335,21 @@ class Network:
         receiver = self._receivers.get(dst)
         if receiver is None:
             raise RuntimeError(f"no receiver registered for site {dst}")
-        receiver(src, message)
+        tracer = self.tracer
+        if tracer is None:
+            receiver(src, message)
+            return
+        # the deliver event is the causal context for everything the
+        # receiving protocol does synchronously (buffer, apply, reply)
+        deliver_id = tracer.msg_deliver(src, dst, message, ts=self.sim.now)
+        if deliver_id is None:
+            receiver(src, message)
+            return
+        tracer.push(deliver_id)
+        try:
+            receiver(src, message)
+        finally:
+            tracer.pop()
 
     def _transmit_raw(self, src: int, dst: int, packet: object,
                       size_bytes: float) -> Optional[float]:
@@ -356,6 +374,14 @@ class Network:
         stats = self.channel_stats(src, dst)
         stats.messages += 1
         self.total_messages += 1
+        if self.tracer is not None:
+            # DataPackets are traced by their application payload; other
+            # packets (acks) have no span and are counted in series only
+            self.tracer.msg_attempt(
+                src, dst, getattr(packet, "payload", packet), ts=self.sim.now,
+                dropped=decision.drop, partition=decision.severed,
+                spike_ms=decision.extra_delay_ms, duplicates=decision.duplicates,
+            )
         if decision.drop:
             if self.collector is not None:
                 self.collector.record_injected_drop(partition=decision.severed)

@@ -26,6 +26,7 @@ from .engine import Simulator
 
 if TYPE_CHECKING:  # avoid a runtime cycle: core.base imports sim.engine
     from ..core.base import CausalProtocol
+    from ..obs.tracer import Tracer
 
 __all__ = ["Site"]
 
@@ -40,6 +41,7 @@ class Site:
         sim: Simulator,
         *,
         on_operation: Optional[Callable[[int], None]] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         if protocol.site != schedule.site:
             raise ValueError(
@@ -51,6 +53,9 @@ class Site:
         #: invoked with the site id as each operation *starts*; the
         #: runner uses it to open the metrics window after warm-up
         self.on_operation = on_operation
+        #: optional tracer: one span per operation, covering a remote
+        #: read's full blocked duration (None = untraced, zero overhead)
+        self.tracer = tracer
         self._next_index = 0
         self.finished = len(schedule) == 0
         self.completed_ops = 0
@@ -78,14 +83,38 @@ class Site:
         _, op = self.schedule.items[index]
         if self.on_operation is not None:
             self.on_operation(self.site_id)
+        tracer = self.tracer
+        if tracer is None:
+            if op.is_write:
+                self.protocol.write(op.var, op.value, op_index=index)
+                self._operation_done()
+            else:
+                def _on_read(value: object, write_id: Optional[WriteId],
+                             was_remote: bool) -> None:
+                    self._operation_done()
+                self.protocol.read(op.var, _on_read, op_index=index)
+            return
+        # traced path: the op span is the causal parent of every message
+        # the protocol sends while the operation executes synchronously;
+        # a remote read's span stays open until its RM completes it
+        op_id = tracer.op_start(self.site_id, self.sim.now,
+                                write=op.is_write, var=op.var, index=index)
         if op.is_write:
-            self.protocol.write(op.var, op.value, op_index=index)
+            try:
+                self.protocol.write(op.var, op.value, op_index=index)
+            finally:
+                tracer.op_finish(op_id, self.sim.now)
+                tracer.op_detach()
             self._operation_done()
         else:
-            def _on_read(value: object, write_id: Optional[WriteId],
-                         was_remote: bool) -> None:
+            def _on_traced_read(value: object, write_id: Optional[WriteId],
+                                was_remote: bool) -> None:
+                tracer.op_finish(op_id, self.sim.now, remote=was_remote)
                 self._operation_done()
-            self.protocol.read(op.var, _on_read, op_index=index)
+            try:
+                self.protocol.read(op.var, _on_traced_read, op_index=index)
+            finally:
+                tracer.op_detach()
 
     def _operation_done(self) -> None:
         """Completion continuation: arm the next operation or finish."""

@@ -137,10 +137,14 @@ class ReliableChannel:
     def _retransmit_all(self) -> None:
         # go-back-N: resend every unacked packet in sequence order; the
         # receiver's reorder buffer absorbs any that already arrived
+        tracer = self.transport.net.tracer
         for seq in sorted(self.unacked):
             packet = self.unacked[seq]
             self.retransmissions += 1
             self.transport.count_retransmission()
+            if tracer is not None:
+                tracer.msg_retransmit(self.src, self.dst, packet.payload,
+                                      ts=self.transport.sim.now)
             self.transport.transmit(self.src, self.dst, packet, packet.size_bytes)
 
     def _on_timeout(self) -> None:
@@ -273,6 +277,8 @@ class ReliableTransport:
         self.duplicate_drops += 1
         if self.net.collector is not None:
             self.net.collector.record_duplicate_drop()
+        if self.net.tracer is not None:
+            self.net.tracer.timeseries.incr("net.dup_drops", self.sim.now)
 
     # ------------------------------------------------------------------
     # heal handling & recovery-latency tracking

@@ -1,0 +1,39 @@
+"""Regenerate the Chrome trace-export golden file.
+
+Run after an *intentional* change to ``repro.obs.sinks.to_chrome``::
+
+    PYTHONPATH=src python tests/golden/regen_trace_chrome.py
+
+The config here must stay in lockstep with ``golden_cfg`` in
+``tests/test_obs.py`` — the test replays it and compares the export
+against ``trace_chrome_small.json`` structurally.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.experiments.runner import SimulationConfig, run_simulation  # noqa: E402
+from repro.obs import Tracer, to_chrome  # noqa: E402
+from repro.sim.network import ConstantLatency  # noqa: E402
+
+
+def main() -> int:
+    cfg = SimulationConfig(
+        protocol="opt-track", n_sites=3, n_vars=6, ops_per_process=8,
+        latency=ConstantLatency(5.0), seed=1,
+    )
+    tracer = Tracer()
+    run_simulation(cfg, tracer=tracer)
+    out = Path(__file__).parent / "trace_chrome_small.json"
+    out.write_text(json.dumps(to_chrome(tracer), sort_keys=True, indent=1)
+                   + "\n")
+    print(f"wrote {out} "
+          f"({len(to_chrome(tracer)['traceEvents'])} trace events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,7 +65,7 @@ class TestSnapshot:
 class TestTraceCli:
     def test_trace_then_verify_roundtrip(self, tmp_path, capsys):
         out = tmp_path / "t"
-        rc = main(["trace", str(out), "-n", "4", "--ops", "25"])
+        rc = main(["trace", "run", str(out), "-n", "4", "--ops", "25"])
         assert rc == 0
         assert (out / "workload.json").exists()
         assert (out / "history.jsonl").exists()
@@ -77,13 +77,13 @@ class TestTraceCli:
         assert "OK" in capsys.readouterr().out
 
     def test_trace_logstats_printed_for_opt_track(self, tmp_path, capsys):
-        rc = main(["trace", str(tmp_path / "t"), "--ops", "20"])
+        rc = main(["trace", "run", str(tmp_path / "t"), "--ops", "20"])
         assert rc == 0
         assert "log structure" in capsys.readouterr().out
 
     def test_verify_trace_flags_corruption(self, tmp_path, capsys):
         out = tmp_path / "t"
-        main(["trace", str(out), "-n", "4", "--ops", "25", "--protocol", "optp"])
+        main(["trace", "run", str(out), "-n", "4", "--ops", "25", "--protocol", "optp"])
         capsys.readouterr()
         # corrupt the history: make the first read return a future write
         lines = (out / "history.jsonl").read_text().splitlines()
