@@ -56,8 +56,18 @@ from .memory.replication import (
 from .memory.store import BOTTOM, SiteStore, WriteId
 from .metrics.collector import MessageKind, MetricsCollector
 from .metrics.sizing import DEFAULT_SIZE_MODEL, SizeModel
+from .sim.checkpoint import DEFAULT_CHECKPOINT_INTERVAL_MS, DurabilityLayer
+from .sim.crash import CatchupPolicy, CrashRecoveryManager, install_crash_recovery
 from .sim.engine import Simulator
-from .sim.faults import ChannelFaults, FaultInjector, FaultPlan, Partition
+from .sim.failure_detector import DetectorPolicy, FailureDetector
+from .sim.faults import (
+    ChannelFaults,
+    CrashEvent,
+    FaultInjector,
+    FaultPlan,
+    Partition,
+    seeded_crashes,
+)
 from .sim.network import (
     AdversarialLatency,
     ConstantLatency,
@@ -102,6 +112,16 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "RetransmitPolicy",
+    # crash-recovery
+    "CrashEvent",
+    "seeded_crashes",
+    "DurabilityLayer",
+    "DEFAULT_CHECKPOINT_INTERVAL_MS",
+    "DetectorPolicy",
+    "FailureDetector",
+    "CatchupPolicy",
+    "CrashRecoveryManager",
+    "install_crash_recovery",
     # memory
     "Placement",
     "RoundRobinPlacement",

@@ -34,7 +34,7 @@ from .experiments import paper
 from .experiments.configs import EXPERIMENTS
 from .experiments.report import format_kv, format_table, write_csv
 from .experiments.runner import SimulationConfig, run_simulation
-from .sim.faults import ChannelFaults, FaultPlan, Partition
+from .sim.faults import ChannelFaults, CrashEvent, FaultPlan, Partition
 from .sim.network import (
     AdversarialLatency,
     ConstantLatency,
@@ -186,6 +186,15 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
                           "between START and HEAL ms, e.g. 500:2000:0,1")
     grp.add_argument("--fault-seed", type=int, default=0,
                      help="seed of the dedicated fault RNG stream")
+    grp.add_argument("--crash-plan", default=None,
+                     metavar="AT:RECOVER:SITE[,AT:RECOVER:SITE...]",
+                     help="crash SITE at AT ms and restore it at RECOVER ms "
+                          "('-' = crash-stop, never recovers), e.g. "
+                          "800:1600:2,1200:-:4")
+    grp.add_argument("--checkpoint-interval", type=float, default=None,
+                     metavar="MS",
+                     help="durable checkpoint period (default: 250 ms when "
+                          "a crash plan is given, off otherwise)")
 
 
 def _parse_partition(spec: str) -> Partition:
@@ -200,16 +209,38 @@ def _parse_partition(spec: str) -> Partition:
         )
 
 
+def _parse_crash_plan(spec: str) -> tuple[CrashEvent, ...]:
+    """``AT:RECOVER:SITE`` triples, comma-separated; RECOVER '-' = never."""
+    events = []
+    for part in spec.split(","):
+        if not part:
+            continue
+        try:
+            at, recover, site = part.split(":")
+            if recover.strip() == "-":
+                events.append(CrashEvent(int(site), float(at)))
+            else:
+                events.append(CrashEvent(int(site), float(at), float(recover)))
+        except (ValueError, TypeError) as exc:
+            raise SystemExit(
+                f"invalid --crash-plan entry {part!r} (want AT:RECOVER:SITE, "
+                f"e.g. 800:1600:2 or 1200:-:4): {exc}"
+            )
+    return tuple(events)
+
+
 def _fault_plan_from_args(args: argparse.Namespace) -> Optional[FaultPlan]:
     """None unless some chaos knob was set (keeps the zero-overhead path)."""
     partitions = (_parse_partition(args.partition),) if args.partition else ()
-    if not (args.drop_rate or args.dup_rate or partitions):
+    crashes = _parse_crash_plan(args.crash_plan) if args.crash_plan else ()
+    if not (args.drop_rate or args.dup_rate or partitions or crashes):
         return None
     try:
         return FaultPlan.build(
             default=ChannelFaults(drop_rate=args.drop_rate,
                                   dup_rate=args.dup_rate),
             partitions=partitions,
+            crashes=crashes,
         )
     except ValueError as exc:
         raise SystemExit(f"invalid fault plan: {exc}")
@@ -228,9 +259,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         record_history=args.check,
         fault_plan=_fault_plan_from_args(args),
         fault_seed=args.fault_seed,
+        checkpoint_interval_ms=args.checkpoint_interval,
     )
     result = run_simulation(cfg)
     print(format_kv(result.summary()))
+    _print_crash_stats(result)
     if args.check:
         report = check_causal_consistency(result.history, result.placement)
         print(f"\ncausal consistency: {'OK' if report.ok else 'VIOLATED'} "
@@ -435,6 +468,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         record_history=True,
         fault_plan=_fault_plan_from_args(args),
         fault_seed=args.fault_seed,
+        checkpoint_interval_ms=args.checkpoint_interval,
     )
     result = run_simulation(cfg)
     report = check_causal_consistency(result.history, result.placement)
@@ -448,9 +482,28 @@ def _cmd_check(args: argparse.Namespace) -> int:
               f"{col.retransmissions} retransmissions, "
               f"{col.duplicate_drops} duplicates suppressed, "
               f"{col.acks_sent} acks")
+    _print_crash_stats(result)
     for v in report.violations[:20]:
         print(f"  {v}")
     return 0 if report.ok else 1
+
+
+def _print_crash_stats(result) -> int:
+    """One summary line per crash-recovery aspect (silent when inactive)."""
+    if result.crash_manager is None:
+        return 0
+    col = result.collector
+    print(f"crash-recovery: {col.crashes} crashes, "
+          f"{col.checkpoints_taken} checkpoints, "
+          f"mean downtime {col.downtime.mean if col.downtime.count else 0.0:.0f} ms, "
+          f"mean detection {col.detection_latency.mean if col.detection_latency.count else 0.0:.0f} ms, "
+          f"mean catch-up {col.catchup_latency.mean if col.catchup_latency.count else 0.0:.0f} ms")
+    print(f"  wal: mean {col.wal_replays.mean if col.wal_replays.count else 0.0:.0f} records replayed/restore; "
+          f"detector: {col.heartbeats_sent} heartbeats, "
+          f"{col.false_suspicions} false suspicions; "
+          f"{col.sync_messages} sync msgs; "
+          f"{col.lost_ops} ops lost (crash-stop)")
+    return 0
 
 
 def _cmd_list(_: argparse.Namespace) -> int:

@@ -32,7 +32,9 @@ from .memory.store import SiteStore, WriteId
 from .metrics.collector import MetricsCollector
 from .metrics.sizing import DEFAULT_SIZE_MODEL, SizeModel
 from .obs.tracer import Tracer
+from .sim.crash import CatchupPolicy, CrashRecoveryManager, install_crash_recovery
 from .sim.engine import Simulator
+from .sim.failure_detector import DetectorPolicy
 from .sim.faults import FaultInjector, FaultPlan
 from .sim.network import LatencyModel, Network, UniformLatency
 from .sim.reliable import RetransmitPolicy
@@ -62,6 +64,10 @@ class CausalCluster:
         fault_seed: int = 0,
         retransmit: Optional[RetransmitPolicy] = None,
         tracer: Optional[Tracer] = None,
+        crash_recovery: bool = False,
+        checkpoint_interval_ms: Optional[float] = None,
+        detector: Optional[DetectorPolicy] = None,
+        catchup: Optional[CatchupPolicy] = None,
     ) -> None:
         # Reuse SimulationConfig purely for validation + placement logic.
         config = SimulationConfig(
@@ -77,6 +83,9 @@ class CausalCluster:
             fault_plan=fault_plan,
             fault_seed=fault_seed,
             retransmit=retransmit,
+            checkpoint_interval_ms=checkpoint_interval_ms,
+            detector=detector,
+            catchup=catchup,
         )
         self.config = config
         self.placement = build_placement(config)
@@ -122,6 +131,29 @@ class CausalCluster:
             proto = create_protocol(protocol, ctx)
             self.network.register(i, proto.on_message)
             self.protocols.append(proto)
+        # Crash-recovery machinery must attach at construction time:
+        # checkpoints and the WAL only cover operations issued after the
+        # durability layer hooks in, so enabling it lazily at the first
+        # crash_site() would restore from an incomplete history.
+        self.crash_manager: Optional[CrashRecoveryManager] = None
+        plan_crashes = fault_plan.crashes if fault_plan is not None else ()
+        if crash_recovery or checkpoint_interval_ms is not None or plan_crashes:
+            self.crash_manager = install_crash_recovery(
+                self.sim, self.network, self.protocols,
+                sites=None,  # no pre-planned schedules in interactive mode
+                crashes=plan_crashes,
+                checkpoint_interval_ms=checkpoint_interval_ms,
+                detector_policy=detector,
+                catchup=catchup,
+                # interactive crashes need the detector: it is what pauses
+                # retransmission into the dead site so settle() terminates
+                with_detector=(
+                    True if self.network.transport is not None
+                    and (crash_recovery or bool(plan_crashes)) else None
+                ),
+                collector=self.collector,
+                tracer=tracer,
+            )
         self._op_counter = 0
 
     # ------------------------------------------------------------------
@@ -138,10 +170,23 @@ class CausalCluster:
         if not 0 <= site < self.n_sites:
             raise ValueError(f"site {site} out of range [0, {self.n_sites})")
 
+    def _check_up(self, site: int) -> None:
+        if self.crash_manager is not None and self.crash_manager.is_down(site):
+            raise RuntimeError(
+                f"site {site} is down; recover_site({site}) first"
+            )
+
+    def _wake(self) -> None:
+        """Restart infrastructure ticks that stopped at quiescence."""
+        if self.crash_manager is not None:
+            self.crash_manager.wake()
+
     # ------------------------------------------------------------------
     def write(self, site: int, var: int, value: object) -> WriteId:
         """Issue w(x_var)value at ``site`` at the current simulated time."""
         self._check_site(site)
+        self._check_up(site)
+        self._wake()
         self._op_counter += 1
         return self.protocols[site].write(var, value, op_index=self._op_counter)
 
@@ -154,6 +199,8 @@ class CausalCluster:
     def read_with_id(self, site: int, var: int) -> tuple[object, Optional[WriteId]]:
         """Like :meth:`read` but also returns the write id of the value."""
         self._check_site(site)
+        self._check_up(site)
+        self._wake()
         self._op_counter += 1
         done: list[tuple[object, Optional[WriteId]]] = []
 
@@ -187,6 +234,11 @@ class CausalCluster:
                     f"(channels blocked: {sorted(blocked)}); call heal() first"
                 )
         self.sim.run()
+        if self.crash_manager is not None and self.crash_manager.down:
+            raise RuntimeError(
+                f"cluster cannot settle while sites are down "
+                f"({sorted(self.crash_manager.down)}); recover them first"
+            )
         held = self._held_by_site()
         if held:
             raise RuntimeError(
@@ -230,6 +282,7 @@ class CausalCluster:
         group = set(sites)
         for s in group:
             self._check_site(s)
+        self._wake()  # severed heartbeats must be noticed by the detector
         self.faults.start_partition(group, self.sim.now)
 
     def heal(self) -> None:
@@ -237,10 +290,51 @@ class CausalCluster:
         retransmitted eagerly and per-site recovery latency is recorded."""
         if self.faults is None:
             return
+        self._wake()
         healed = self.faults.heal_partitions(self.sim.now)
         transport = self.network.transport
         for group in healed:
             transport.on_heal(self.sim.now, group)
+
+    # ------------------------------------------------------------------
+    # crash-recovery (interactive)
+    # ------------------------------------------------------------------
+    def crash_site(self, site: int) -> None:
+        """Kill ``site`` now: volatile state (buffers, timers, an
+        in-progress fetch) is lost; checkpoints and the WAL survive.
+
+        Requires the cluster to have been built with
+        ``crash_recovery=True`` (plus a ``fault_plan=`` for the chaos
+        transport) so the durability layer has been journaling since
+        construction.
+        """
+        self._check_site(site)
+        if self.crash_manager is None:
+            raise RuntimeError(
+                "crash_site() needs the crash-recovery machinery; build "
+                "the cluster with crash_recovery=True and fault_plan=..."
+            )
+        self._wake()
+        self.crash_manager.crash(site)
+
+    def recover_site(self, site: int) -> None:
+        """Restore ``site`` from its checkpoint + WAL and start catch-up.
+
+        The rejoin (anti-entropy rounds, backlog retransmission) runs
+        through the event loop — ``advance``/``settle`` to let it finish;
+        :meth:`pending_breakdown` shows the backlog draining.
+        """
+        self._check_site(site)
+        if self.crash_manager is None:
+            raise RuntimeError("no crash-recovery machinery installed")
+        self._wake()
+        self.crash_manager.recover(site)
+
+    def down_sites(self) -> set[int]:
+        """Sites currently crashed (empty without crash machinery)."""
+        if self.crash_manager is None:
+            return set()
+        return set(self.crash_manager.down)
 
     def _held_by_site(self) -> dict[int, int]:
         return {
@@ -249,12 +343,39 @@ class CausalCluster:
             if self.network.held_count(s)
         }
 
-    def pending_messages(self) -> int:
-        """Messages not yet applied cluster-wide: updates buffered by
-        activation predicates plus deliveries held for paused sites."""
+    def pending_breakdown(self) -> dict[str, int]:
+        """Where every not-yet-applied message currently lives.
+
+        * ``buffered`` — delivered but parked in an activation buffer;
+        * ``held_for_paused`` — delivery withheld for a paused site;
+        * ``held_for_crashed`` — durably queued at senders for a crashed
+          site (re-counted into ``in_flight`` as the rejoin drains it);
+        * ``in_flight`` — unacked on the wire between live sites.
+        """
         buffered = sum(p.pending_count for p in self.protocols)
-        held = sum(self._held_by_site().values())
-        return buffered + held
+        held_paused = sum(self._held_by_site().values())
+        held_crashed = 0
+        in_flight = 0
+        transport = self.network.transport
+        if transport is not None:
+            down = self.crash_manager.down if self.crash_manager else set()
+            held_crashed = sum(transport.unacked_to(d) for d in down)
+            in_flight = transport.unacked_count() - held_crashed
+        return {
+            "buffered": buffered,
+            "held_for_paused": held_paused,
+            "held_for_crashed": held_crashed,
+            "in_flight": in_flight,
+        }
+
+    def pending_messages(self) -> int:
+        """Messages accepted but not yet applied cluster-wide: buffered
+        by activation predicates, held for paused sites, or held durably
+        at senders for crashed sites.  (In-flight packets between live
+        sites are excluded — they are the network's business, not a
+        backlog.)"""
+        b = self.pending_breakdown()
+        return b["buffered"] + b["held_for_paused"] + b["held_for_crashed"]
 
     # ------------------------------------------------------------------
     def check(self) -> CheckReport:

@@ -26,8 +26,11 @@ rather than the control flow.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..sim.checkpoint import SiteDisk, WalRecord
 
 from ..memory.replication import Placement
 from ..memory.store import SiteStore, WriteId
@@ -106,6 +109,17 @@ class _OutstandingFetch:
     on_complete: ReadCallback
     op_index: Optional[int]
     issued: float
+    #: the replica the FM was sent to (crash-recovery liveness analysis)
+    target: int = -1
+
+
+class _NullNetwork:
+    """Send sink used while replaying a WAL: the original sends already
+    happened and live on in the durable reliable-channel queues."""
+
+    def send(self, src: int, dst: int, message: object, *,
+             size_bytes: float = 0.0) -> None:
+        return None
 
 
 class CausalProtocol(abc.ABC):
@@ -131,13 +145,31 @@ class CausalProtocol(abc.ABC):
         self._fetches: dict[int, _OutstandingFetch] = {}
         self._next_request_id = 0
         self._draining = False
+        #: durable disk (crash-recovery); ``None`` keeps the seed path
+        #: byte-identical — no WAL branch is ever taken
+        self._wal: "Optional[SiteDisk]" = None
+        #: True while re-executing WAL records during recovery
+        self._replaying = False
+        #: RMs answering a fetch whose continuation died in a crash
+        self.stale_rms_dropped = 0
+        #: liveness oracle for fetch-target failover (wired by the
+        #: crash-recovery manager; ``None`` = everyone is up)
+        self._liveness: Optional[Callable[[int], bool]] = None
 
     # ------------------------------------------------------------------
     # public API driven by the application subsystem
     # ------------------------------------------------------------------
-    @abc.abstractmethod
     def write(self, var: int, value: object, *, op_index: Optional[int] = None) -> WriteId:
         """Perform w(x_var)value locally and multicast it to all replicas."""
+        if self._wal is not None and not self._replaying:
+            self._wal.log_write(var, value)
+        return self._perform_write(var, value, op_index=op_index)
+
+    @abc.abstractmethod
+    def _perform_write(
+        self, var: int, value: object, *, op_index: Optional[int] = None
+    ) -> WriteId:
+        """Protocol-specific write path (the pre-WAL ``write`` body)."""
 
     def read(
         self, var: int, on_complete: ReadCallback, *, op_index: Optional[int] = None
@@ -149,6 +181,8 @@ class CausalProtocol(abc.ABC):
         complete when the gated RM arrives.
         """
         ctx = self.ctx
+        if self._wal is not None and not self._replaying:
+            self._wal.log_read(var)
         if ctx.placement.is_replicated_at(var, self.site):
             value, write_id = self._local_read(var)
             ctx.collector.record_operation(False, remote=False)
@@ -160,10 +194,18 @@ class CausalProtocol(abc.ABC):
             return
         ctx.collector.record_operation(False, remote=True)
         target = ctx.placement.fetch_site(var, self.site)
+        if self._liveness is not None and not self._liveness(target):
+            # designated replica is (believed) down: fail over to the
+            # first live replica of the variable, if any
+            for alt in ctx.placement.replicas(var):
+                if alt != self.site and alt != target and self._liveness(alt):
+                    target = alt
+                    break
         req_id = self._next_request_id
         self._next_request_id += 1
         self._fetches[req_id] = _OutstandingFetch(
-            var=var, on_complete=on_complete, op_index=op_index, issued=ctx.sim.now
+            var=var, on_complete=on_complete, op_index=op_index,
+            issued=ctx.sim.now, target=target,
         )
         ctx.history.record_fetch(time=ctx.sim.now, site=self.site, peer=target, var=var)
         self._send(
@@ -180,6 +222,10 @@ class CausalProtocol(abc.ABC):
     # ------------------------------------------------------------------
     def on_message(self, src: int, message: object) -> None:
         """Network delivery entry point (dispatch by message class)."""
+        if self._wal is not None and not self._replaying:
+            # logged before processing: the reliable transport acks only
+            # after this returns, so an acked message is always durable
+            self._wal.log_recv(src, message)
         if isinstance(message, FetchMessage):
             # Serving is deferred until every write the reader causally
             # requires of this site has been applied here — otherwise the
@@ -346,7 +392,15 @@ class CausalProtocol(abc.ABC):
         self, request_id: int, value: object, write_id: Optional[WriteId]
     ) -> None:
         """Finish the read blocked on ``request_id`` (RM gating already passed)."""
-        fetch = self._fetches.pop(request_id)
+        fetch = self._fetches.pop(request_id, None)
+        if fetch is None:
+            # An RM answering a fetch whose continuation died in a crash:
+            # the read was re-issued under a fresh request id after
+            # recovery, so this late reply is dropped (its causal
+            # metadata was already merged by the caller).
+            self.stale_rms_dropped += 1
+            self.ctx.collector.record_stale_rm()
+            return
         ctx = self.ctx
         ctx.collector.record_fetch_rtt(ctx.sim.now - fetch.issued)
         ctx.history.record_read_op(
@@ -385,6 +439,101 @@ class CausalProtocol(abc.ABC):
 
     def _complete_rm(self, src: int, message: object) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # crash-recovery: durable snapshots and deterministic WAL replay
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the complete logical state of this protocol instance.
+
+        The blob must be sufficient for :meth:`restore` to rebuild an
+        instance indistinguishable from this one to every peer: pending
+        buffers, the fetch-request counter, the local replica slots, and
+        whatever clocks/logs the concrete protocol adds via
+        :meth:`_snapshot_extra`.  Messages inside pending buffers are
+        shared, not copied — they are immutable by protocol convention.
+        """
+        return {
+            "pending_sm": [(p.src, p.message, p.arrived) for p in self._pending_sm],
+            "pending_rm": [(p.src, p.message, p.arrived) for p in self._pending_rm],
+            "pending_fm": [(p.src, p.message, p.arrived) for p in self._pending_fm],
+            "next_request_id": self._next_request_id,
+            "slots": {
+                var: (slot.value, slot.write_id, slot.applied_at)
+                for var, slot in self.ctx.store._slots.items()
+            },
+            "extra": self._snapshot_extra(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overwrite volatile state from a :meth:`snapshot` blob."""
+        self._pending_sm = [_PendingSM(s, m, t) for s, m, t in state["pending_sm"]]
+        self._pending_rm = [_PendingRM(s, m, t) for s, m, t in state["pending_rm"]]
+        self._pending_fm = [_PendingFM(s, m, t) for s, m, t in state["pending_fm"]]
+        self._next_request_id = state["next_request_id"]
+        self._fetches.clear()
+        self._draining = False
+        slots = self.ctx.store._slots
+        for var, (value, write_id, applied_at) in state["slots"].items():
+            slot = slots[var]
+            slot.value = value
+            slot.write_id = write_id
+            slot.applied_at = applied_at
+        self._restore_extra(state["extra"])
+
+    def replay(self, records: "Sequence[WalRecord]") -> int:
+        """Re-execute WAL records through the normal protocol code paths.
+
+        Every protocol here is a deterministic state machine over its
+        inputs, so replay reconstructs the exact pre-crash logical
+        state.  Side effects that already happened must not happen
+        again: sends go to a null network (the originals are durable in
+        the reliable-channel queues), metrics to a throwaway collector,
+        and nothing is traced or WAL-logged.  Reads outstanding at the
+        crash are cleared afterwards — their continuations died with
+        the process and the scheduler re-issues the interrupted
+        operation.
+        """
+        real_ctx = self.ctx
+        self.ctx = replace(
+            real_ctx,
+            network=_NullNetwork(),  # type: ignore[arg-type]
+            collector=MetricsCollector(),
+            history=HistoryRecorder(enabled=False),
+            tracer=None,
+        )
+        self._replaying = True
+        try:
+            for rec in records:
+                if rec.kind == "recv":
+                    self.on_message(rec.src, rec.message)
+                elif rec.kind == "write":
+                    self._perform_write(rec.var, rec.value)
+                elif rec.kind == "read":
+                    self.read(rec.var, lambda value, wid, remote: None)
+                else:  # pragma: no cover - defensive
+                    raise ValueError(f"unknown WAL record kind {rec.kind!r}")
+        finally:
+            self._replaying = False
+            self.ctx = real_ctx
+        self._fetches.clear()
+        return len(records)
+
+    def knows_write(self, wid: WriteId) -> Optional[bool]:
+        """Whether this site has applied ``wid`` (anti-entropy digests).
+
+        ``None`` means the protocol's ``applied`` bookkeeping cannot
+        answer (Full-Track counts applications rather than writer
+        clocks); the catch-up loop then relies on transport drain alone.
+        """
+        return None
+
+    def _snapshot_extra(self) -> dict:
+        """Protocol-specific clocks/logs for :meth:`snapshot`."""
+        return {}
+
+    def _restore_extra(self, extra: dict) -> None:
+        """Inverse of :meth:`_snapshot_extra`."""
 
     # ------------------------------------------------------------------
     # introspection used by tests and the runner

@@ -56,7 +56,9 @@ class FullTrackProtocol(CausalProtocol):
     # ------------------------------------------------------------------
     # application subsystem
     # ------------------------------------------------------------------
-    def write(self, var: int, value: object, *, op_index: Optional[int] = None) -> WriteId:
+    def _perform_write(
+        self, var: int, value: object, *, op_index: Optional[int] = None
+    ) -> WriteId:
         ctx = self.ctx
         dests = ctx.placement.replicas(var)
         self._write_count += 1
@@ -148,6 +150,29 @@ class FullTrackProtocol(CausalProtocol):
         assert isinstance(message, FullTrackRM)
         self.write_clock.merge(message.matrix)
         self._complete_fetch(message.request_id, message.value, message.write_id)
+
+    # ------------------------------------------------------------------
+    # crash-recovery hooks
+    # ------------------------------------------------------------------
+    def _snapshot_extra(self) -> dict:
+        # matrices in last_write_on are immutable-by-convention snapshots
+        # and can be shared; write_clock is mutated by merges, so copy it
+        # on both capture and restore (a checkpoint may be restored twice)
+        return {
+            "write_clock": self.write_clock.copy(),
+            "applied": self.applied.copy(),
+            "write_count": self._write_count,
+            "last_write_on": dict(self.last_write_on),
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.write_clock = extra["write_clock"].copy()
+        self.applied = extra["applied"].copy()
+        self._write_count = extra["write_count"]
+        self.last_write_on = dict(extra["last_write_on"])
+
+    # knows_write stays None: Apply_i counts applications destined here,
+    # not writer clocks, so it cannot be compared against a WriteId
 
     # ------------------------------------------------------------------
     def log_size(self) -> int:

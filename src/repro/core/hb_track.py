@@ -53,7 +53,9 @@ class HBTrackProtocol(CausalProtocol):
     # ------------------------------------------------------------------
     # application subsystem
     # ------------------------------------------------------------------
-    def write(self, var: int, value: object, *, op_index: Optional[int] = None) -> WriteId:
+    def _perform_write(
+        self, var: int, value: object, *, op_index: Optional[int] = None
+    ) -> WriteId:
         ctx = self.ctx
         clock = self.write_clock.increment(self.site)
         wid = WriteId(self.site, clock)
@@ -116,6 +118,24 @@ class HBTrackProtocol(CausalProtocol):
         # whether or not its value is ever read (false causality)
         self.write_clock.merge(vector)
         ctx.history.record_apply(time=ctx.sim.now, site=self.site, var=var, write_id=wid)
+
+    # ------------------------------------------------------------------
+    # crash-recovery hooks
+    # ------------------------------------------------------------------
+    def _snapshot_extra(self) -> dict:
+        return {
+            "write_clock": self.write_clock.copy(),
+            "applied": self.applied.copy(),
+            "last_write_on": dict(self.last_write_on),
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.write_clock = extra["write_clock"].copy()
+        self.applied = extra["applied"].copy()
+        self.last_write_on = dict(extra["last_write_on"])
+
+    def knows_write(self, wid: WriteId) -> Optional[bool]:
+        return bool(self.applied[wid.site] >= wid.clock)
 
     # ------------------------------------------------------------------
     def log_size(self) -> int:

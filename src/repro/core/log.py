@@ -257,7 +257,16 @@ class OptTrackLog:
         return tuple(self.entries())
 
     def copy(self) -> "OptTrackLog":
-        return OptTrackLog(self.entries())
+        """Deep copy, tombstones included.
+
+        Crash-recovery checkpoints restore from copies; losing the
+        ∅-record tombstones would let stale LastWriteOn snapshots
+        re-infect the log after a rejoin.
+        """
+        new = OptTrackLog()
+        new._entries = {key: set(dests) for key, dests in self._entries.items()}
+        new._emptied = set(self._emptied)
+        return new
 
     def __repr__(self) -> str:
         return f"OptTrackLog({len(self._entries)} entries)"
@@ -305,6 +314,9 @@ class TupleLog:
     def merge(self, incoming: Iterable[tuple[int, int]]) -> None:
         for j, c in incoming:
             self.add(j, c)
+
+    def copy(self) -> "TupleLog":
+        return TupleLog(self._clocks.items())
 
     def __repr__(self) -> str:
         return f"TupleLog({self.entries()!r})"

@@ -66,7 +66,9 @@ class OptTrackProtocol(CausalProtocol):
     # ------------------------------------------------------------------
     # application subsystem
     # ------------------------------------------------------------------
-    def write(self, var: int, value: object, *, op_index: Optional[int] = None) -> WriteId:
+    def _perform_write(
+        self, var: int, value: object, *, op_index: Optional[int] = None
+    ) -> WriteId:
         ctx = self.ctx
         dests = frozenset(ctx.placement.replicas(var))
         self.clock += 1
@@ -234,6 +236,29 @@ class OptTrackProtocol(CausalProtocol):
         assert isinstance(message, OptTrackRM)
         self.log.merge(message.log, self_site=self.site, applied=self.applied)
         self._complete_fetch(message.request_id, message.value, message.write_id)
+
+    # ------------------------------------------------------------------
+    # crash-recovery hooks
+    # ------------------------------------------------------------------
+    def _snapshot_extra(self) -> dict:
+        return {
+            "clock": self.clock,
+            "applied": self.applied.copy(),
+            "log": self.log.copy(),
+            "last_write_on": dict(self.last_write_on),
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.clock = extra["clock"]
+        self.applied = extra["applied"].copy()
+        self.log = extra["log"].copy()
+        self.last_write_on = dict(extra["last_write_on"])
+
+    def knows_write(self, wid: WriteId) -> Optional[bool]:
+        # Apply_i[j] is the highest write clock of ap_j applied here and
+        # clocks of destined-here writes increase along FIFO channels,
+        # so the comparison is sound in both directions.
+        return bool(self.applied[wid.site] >= wid.clock)
 
     # ------------------------------------------------------------------
     def log_size(self) -> int:

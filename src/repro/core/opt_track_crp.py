@@ -51,7 +51,9 @@ class OptTrackCRPProtocol(CausalProtocol):
     # ------------------------------------------------------------------
     # application subsystem
     # ------------------------------------------------------------------
-    def write(self, var: int, value: object, *, op_index: Optional[int] = None) -> WriteId:
+    def _perform_write(
+        self, var: int, value: object, *, op_index: Optional[int] = None
+    ) -> WriteId:
         ctx = self.ctx
         self.clock += 1
         wid = WriteId(self.site, self.clock)
@@ -118,6 +120,26 @@ class OptTrackCRPProtocol(CausalProtocol):
         self.applied[wid.site] = wid.clock
         self.last_write_on[var] = wid
         ctx.history.record_apply(time=ctx.sim.now, site=self.site, var=var, write_id=wid)
+
+    # ------------------------------------------------------------------
+    # crash-recovery hooks
+    # ------------------------------------------------------------------
+    def _snapshot_extra(self) -> dict:
+        return {
+            "clock": self.clock,
+            "applied": self.applied.copy(),
+            "log": self.log.copy(),
+            "last_write_on": dict(self.last_write_on),
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.clock = extra["clock"]
+        self.applied = extra["applied"].copy()
+        self.log = extra["log"].copy()
+        self.last_write_on = dict(extra["last_write_on"])
+
+    def knows_write(self, wid: WriteId) -> Optional[bool]:
+        return bool(self.applied[wid.site] >= wid.clock)
 
     # ------------------------------------------------------------------
     def log_size(self) -> int:

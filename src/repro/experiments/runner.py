@@ -37,7 +37,13 @@ from ..memory.store import SiteStore
 from ..metrics.collector import MetricsCollector
 from ..metrics.sizing import DEFAULT_SIZE_MODEL, SizeModel
 from ..obs.tracer import Tracer
+from ..sim.crash import (
+    CatchupPolicy,
+    CrashRecoveryManager,
+    install_crash_recovery,
+)
 from ..sim.engine import Simulator
+from ..sim.failure_detector import DetectorPolicy
 from ..sim.faults import FaultInjector, FaultPlan
 from ..sim.network import LatencyModel, Network, UniformLatency
 from ..sim.process import Site
@@ -95,6 +101,16 @@ class SimulationConfig:
     #: replay bit-identically, independent of latency sampling
     fault_seed: int = 0
     retransmit: Optional[RetransmitPolicy] = None
+    #: durable-state layer: ``None`` disables checkpointing entirely
+    #: *unless* the fault plan schedules crashes (which force it on at
+    #: the default interval); crash-free runs with it disabled stay
+    #: byte-identical to the seed
+    checkpoint_interval_ms: Optional[float] = None
+    #: heartbeat failure-detector tuning (None = defaults when crashes
+    #: are planned; no detector at all otherwise)
+    detector: Optional[DetectorPolicy] = None
+    #: anti-entropy catch-up tuning for the rejoin path
+    catchup: Optional[CatchupPolicy] = None
 
     def __post_init__(self) -> None:
         if self.n_sites <= 0:
@@ -132,6 +148,8 @@ class RunResult:
     protocols: list[CausalProtocol]
     sim_time_ms: float
     total_sim_events: int
+    #: crash-recovery orchestrator (None when no crash machinery ran)
+    crash_manager: Optional[CrashRecoveryManager] = None
 
     @property
     def final_log_sizes(self) -> list[int]:
@@ -252,11 +270,46 @@ def run_simulation(
         sites.append(Site(proto, workload.for_site(i), sim,
                           on_operation=on_operation, tracer=tracer))
 
+    crash_manager: Optional[CrashRecoveryManager] = None
+    planned_crashes = config.fault_plan.crashes if config.fault_plan else ()
+    if planned_crashes or config.checkpoint_interval_ms is not None:
+        if planned_crashes:
+            # a crash scheduled after the workload can ever end would
+            # stall quiescence (or silently test nothing); reject early
+            horizon = max(
+                (s.items[-1][0] for s in (workload.for_site(i)
+                                          for i in range(config.n_sites))
+                 if len(s)),
+                default=0.0,
+            )
+            config.fault_plan.validate(horizon_ms=horizon)
+        crash_manager = install_crash_recovery(
+            sim, network, protocols,
+            sites=sites,
+            crashes=planned_crashes,
+            checkpoint_interval_ms=config.checkpoint_interval_ms,
+            detector_policy=config.detector,
+            catchup=config.catchup,
+            collector=collector,
+            tracer=tracer,
+        )
+
     for site in sites:
         site.start()
     end_time = sim.run()
 
-    if config.strict:
+    dead_forever: set[int] = set()
+    if crash_manager is not None:
+        dead_forever = crash_manager.down_forever()
+        lost = crash_manager.lost_operations()
+        if lost:
+            collector.record_lost_ops(lost)
+    if config.strict and not dead_forever:
+        # crash-stop runs are exempt: a dead-forever site strands its own
+        # schedule, and live sites can be legitimately stuck on state
+        # frozen inside the dead site's outbound queue (those operations
+        # are accounted as lost above); every other run — including full
+        # crash-recovery plans — must finish and drain completely
         stuck_sites = [s.site_id for s in sites if not s.finished]
         if stuck_sites:
             raise RuntimeError(f"sites never finished their schedules: {stuck_sites}")
@@ -275,4 +328,5 @@ def run_simulation(
         protocols=protocols,
         sim_time_ms=end_time,
         total_sim_events=sim.processed_events,
+        crash_manager=crash_manager,
     )

@@ -334,6 +334,45 @@ class Tracer:
         return self._apply_sends[site][i:]
 
     # ------------------------------------------------------------------
+    # crash-recovery lifecycle (driven by repro.sim.crash)
+    # ------------------------------------------------------------------
+    def site_crash(self, site: int, ts: float) -> int:
+        """``site`` lost its volatile state (process crash)."""
+        self.timeseries.incr("crash.crashes", ts)
+        return self._emit("site.crash", site, ts).id
+
+    def site_restore(self, site: int, ts: float, *, downtime_ms: float,
+                     wal_replayed: int) -> int:
+        """``site`` reinstalled its checkpoint and replayed its WAL."""
+        self.timeseries.observe("crash.downtime_ms", ts, downtime_ms)
+        return self._emit("site.restore", site, ts,
+                          downtime_ms=downtime_ms,
+                          wal_replayed=wal_replayed).id
+
+    def site_catchup(self, site: int, ts: float, *, duration_ms: float,
+                     rounds: int, forced: bool = False) -> int:
+        """``site`` finished anti-entropy catch-up and resumed serving."""
+        self.timeseries.observe("crash.catchup_ms", ts, duration_ms)
+        attrs: dict = {"duration_ms": duration_ms, "rounds": rounds}
+        if forced:
+            attrs["forced"] = True
+        return self._emit("site.catchup", site, ts, **attrs).id
+
+    def detector_suspect(self, observer: int, subject: int, ts: float, *,
+                         false_positive: bool = False) -> int:
+        """``observer``'s failure detector started suspecting ``subject``."""
+        self.timeseries.incr("fd.suspects", ts)
+        attrs: dict = {"subject": subject}
+        if false_positive:
+            attrs["false_positive"] = True
+        return self._emit("fd.suspect", observer, ts, **attrs).id
+
+    def detector_alive(self, observer: int, subject: int, ts: float) -> int:
+        """``observer`` heard from a suspected ``subject`` again."""
+        self.timeseries.incr("fd.unsuspects", ts)
+        return self._emit("fd.alive", observer, ts, subject=subject).id
+
+    # ------------------------------------------------------------------
     # simulation-kernel observer (installed on Simulator.observer)
     # ------------------------------------------------------------------
     def on_sim_event(self, ts: float, pending: int) -> None:

@@ -1,8 +1,29 @@
 """Discrete-event simulation substrate (engine, network, faults, process model)."""
 
+from .checkpoint import (
+    DEFAULT_CHECKPOINT_INTERVAL_MS,
+    DurabilityLayer,
+    SiteDisk,
+    WalRecord,
+)
+from .crash import (
+    CatchupPolicy,
+    CrashRecoveryManager,
+    SyncRequest,
+    SyncResponse,
+    install_crash_recovery,
+)
 from .engine import ScheduledEvent, SimulationError, Simulator
 from .events import EventKind, EventRecord
-from .faults import ChannelFaults, FaultInjector, FaultPlan, Partition
+from .failure_detector import DetectorPolicy, FailureDetector, HeartbeatPacket
+from .faults import (
+    ChannelFaults,
+    CrashEvent,
+    FaultInjector,
+    FaultPlan,
+    Partition,
+    seeded_crashes,
+)
 from .network import (
     AdversarialLatency,
     ConstantLatency,
@@ -36,4 +57,19 @@ __all__ = [
     "ReliableChannel",
     "ReliableTransport",
     "RetransmitPolicy",
+    # crash-recovery
+    "CrashEvent",
+    "seeded_crashes",
+    "WalRecord",
+    "SiteDisk",
+    "DurabilityLayer",
+    "DEFAULT_CHECKPOINT_INTERVAL_MS",
+    "DetectorPolicy",
+    "HeartbeatPacket",
+    "FailureDetector",
+    "CatchupPolicy",
+    "SyncRequest",
+    "SyncResponse",
+    "CrashRecoveryManager",
+    "install_crash_recovery",
 ]

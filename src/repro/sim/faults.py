@@ -29,9 +29,11 @@ import numpy as np
 __all__ = [
     "ChannelFaults",
     "Partition",
+    "CrashEvent",
     "FaultPlan",
     "FaultDecision",
     "FaultInjector",
+    "seeded_crashes",
 ]
 
 
@@ -96,6 +98,63 @@ class Partition:
 
 
 @dataclass(frozen=True)
+class CrashEvent:
+    """Site ``site`` crashes at ``at_ms``; volatile state is lost.
+
+    ``recover_ms=inf`` models crash-stop (the site never comes back);
+    a finite value models crash-recovery: at ``recover_ms`` the site
+    restores its last checkpoint, replays its write-ahead log, catches
+    up missed updates from live replicas, and resumes its schedule.
+    """
+
+    site: int
+    at_ms: float
+    recover_ms: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.site < 0:
+            raise ValueError(f"crash site must be >= 0, got {self.site}")
+        if not 0.0 <= self.at_ms < self.recover_ms:
+            raise ValueError(
+                f"invalid crash window [{self.at_ms}, {self.recover_ms}) "
+                f"for site {self.site}"
+            )
+
+    @property
+    def is_crash_stop(self) -> bool:
+        return not math.isfinite(self.recover_ms)
+
+
+def seeded_crashes(
+    n_sites: int,
+    *,
+    n_crashes: int = 1,
+    window_ms: tuple[float, float] = (500.0, 3000.0),
+    downtime_ms: tuple[float, float] = (400.0, 1200.0),
+    crash_stop: bool = False,
+    seed: int = 0,
+) -> tuple[CrashEvent, ...]:
+    """Draw a random non-overlapping crash schedule from a seed.
+
+    Victims are distinct sites; crash instants fall in ``window_ms`` and
+    (unless ``crash_stop``) each site recovers after a downtime drawn
+    from ``downtime_ms``.
+    """
+    if n_crashes > n_sites:
+        raise ValueError("cannot crash more distinct sites than exist")
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    victims = rng.choice(n_sites, size=n_crashes, replace=False)
+    events = []
+    for site in sorted(int(v) for v in victims):
+        at = float(rng.uniform(*window_ms))
+        if crash_stop:
+            events.append(CrashEvent(site, at))
+        else:
+            events.append(CrashEvent(site, at, at + float(rng.uniform(*downtime_ms))))
+    return tuple(events)
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Declarative description of everything that goes wrong in a run.
 
@@ -108,6 +167,7 @@ class FaultPlan:
     default: ChannelFaults = field(default_factory=ChannelFaults)
     channels: tuple[tuple[tuple[int, int], ChannelFaults], ...] = ()
     partitions: tuple[Partition, ...] = ()
+    crashes: tuple[CrashEvent, ...] = ()
 
     @classmethod
     def build(
@@ -115,11 +175,13 @@ class FaultPlan:
         default: Optional[ChannelFaults] = None,
         channels: Optional[Mapping[tuple[int, int], ChannelFaults]] = None,
         partitions: Sequence[Partition] = (),
+        crashes: Sequence[CrashEvent] = (),
     ) -> "FaultPlan":
         return cls(
             default=default if default is not None else ChannelFaults(),
             channels=tuple(sorted((channels or {}).items())),
             partitions=tuple(partitions),
+            crashes=tuple(crashes),
         )
 
     @classmethod
@@ -130,12 +192,59 @@ class FaultPlan:
         spike_rate: float = 0.0,
         spike_ms: tuple[float, float] = (100.0, 500.0),
         partitions: Sequence[Partition] = (),
+        crashes: Sequence[CrashEvent] = (),
     ) -> "FaultPlan":
         """The common case: one fault profile applied to every channel."""
         return cls.build(
             default=ChannelFaults(drop_rate, dup_rate, spike_rate, spike_ms),
             partitions=partitions,
+            crashes=crashes,
         )
+
+    def validate(self, horizon_ms: Optional[float] = None) -> None:
+        """Reject plans that cannot be interpreted coherently.
+
+        Checks: two partitions of the *same* group must not overlap in
+        time (the injector cannot tell which heal event closes which
+        window); crash windows of the same site must not overlap (a site
+        cannot crash while already down); and, when the caller knows the
+        workload's stop condition, no crash may *begin* after
+        ``horizon_ms`` — it could never be observed by the run.
+        """
+        by_group: dict[frozenset[int], list[Partition]] = {}
+        for p in self.partitions:
+            by_group.setdefault(p.group, []).append(p)
+        for group, parts in by_group.items():
+            parts.sort(key=lambda p: p.start_ms)
+            for a, b in zip(parts, parts[1:]):
+                if b.start_ms < a.heal_ms:
+                    raise ValueError(
+                        f"overlapping partitions of group {sorted(group)}: "
+                        f"[{a.start_ms}, {a.heal_ms}) and "
+                        f"[{b.start_ms}, {b.heal_ms}) — merge them or "
+                        f"stagger their windows"
+                    )
+        by_site: dict[int, list[CrashEvent]] = {}
+        for c in self.crashes:
+            by_site.setdefault(c.site, []).append(c)
+        for site, events in by_site.items():
+            events.sort(key=lambda c: c.at_ms)
+            for a, b in zip(events, events[1:]):
+                if b.at_ms < a.recover_ms:
+                    raise ValueError(
+                        f"overlapping crash windows for site {site}: "
+                        f"[{a.at_ms}, {a.recover_ms}) and "
+                        f"[{b.at_ms}, {b.recover_ms}) — a site cannot "
+                        f"crash while it is already down"
+                    )
+        if horizon_ms is not None:
+            for c in self.crashes:
+                if c.at_ms > horizon_ms:
+                    raise ValueError(
+                        f"crash of site {c.site} at {c.at_ms}ms starts after "
+                        f"the stop condition ({horizon_ms}ms) and can never "
+                        f"be observed — move it earlier or drop it"
+                    )
 
     def faults_for(self, src: int, dst: int) -> ChannelFaults:
         for key, faults in self.channels:
@@ -187,6 +296,7 @@ class FaultInjector:
         seed: int = 0,
     ) -> None:
         self.plan = plan if plan is not None else FaultPlan()
+        self.plan.validate()
         self.rng = rng if rng is not None else np.random.default_rng(
             np.random.SeedSequence(seed)
         )

@@ -207,6 +207,8 @@ class Network:
         # (per-channel FIFO preserved) until resumed
         self._paused: set[int] = set()
         self._held: dict[int, list[tuple[int, object]]] = {}
+        # crash-recovery: packets to a down site are dropped at the wire
+        self._down: set[int] = set()
         # chaos stack (None = the default reliable path, zero overhead)
         self.collector = collector
         # observability (None = untraced, zero overhead)
@@ -263,6 +265,32 @@ class Network:
 
     def is_paused(self, site: int) -> bool:
         return site in self._paused
+
+    # ------------------------------------------------------------------
+    # crash-recovery (chaos path only; see repro.sim.crash)
+    # ------------------------------------------------------------------
+    def crash_site(self, site: int) -> None:
+        """Mark ``site`` down: packets addressed to it vanish at the wire.
+
+        Packets already in flight *from* the site still arrive — they
+        left its NIC before the crash.  Requires the chaos transport;
+        losing a message on the seed's reliable path would be
+        unrecoverable by construction.
+        """
+        self._check_site(site)
+        if self.transport is None:
+            raise RuntimeError(
+                "crash_site() needs the chaos transport (fault_plan=...); "
+                "the reliable seed path cannot lose messages"
+            )
+        self._down.add(site)
+
+    def revive_site(self, site: int) -> None:
+        self._check_site(site)
+        self._down.discard(site)
+
+    def is_down(self, site: int) -> bool:
+        return site in self._down
 
     def held_count(self, site: int) -> int:
         """Messages currently held for a paused site."""
@@ -396,7 +424,7 @@ class Network:
             self.collector.record_injected_spike(decision.extra_delay_ms)
         self.sim.schedule_at(
             delivery,
-            lambda: self.transport.deliver_packet(src, dst, packet),
+            lambda: self._arrive(src, dst, packet),
             label=f"packet {src}->{dst}",
         )
         for _ in range(decision.duplicates):
@@ -408,10 +436,25 @@ class Network:
                 self.collector.record_injected_dup()
             self.sim.schedule_at(
                 departure + dup_delay + decision.extra_delay_ms,
-                lambda: self.transport.deliver_packet(src, dst, packet),
+                lambda: self._arrive(src, dst, packet),
                 label=f"dup packet {src}->{dst}",
             )
         return delivery
+
+    def _arrive(self, src: int, dst: int, packet: object) -> None:
+        """Terminate one physical packet at the destination NIC.
+
+        A down destination drops the packet at the wire — the sender's
+        reliable channel keeps it durable and retransmits after the
+        site rejoins.  Infra packet handlers (heartbeats, sync) are
+        still notified with ``dead=True`` for their bookkeeping.
+        """
+        if dst in self._down:
+            if self.collector is not None:
+                self.collector.record_dead_site_drop()
+            self.transport.on_dead_drop(src, dst, packet)
+            return
+        self.transport.deliver_packet(src, dst, packet)
 
     def multicast(self, src: int, dests: Sequence[int], message_for: Callable[[int], object]) -> int:
         """Unicast ``message_for(dst)`` to each destination except ``src``.

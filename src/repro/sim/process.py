@@ -60,6 +60,13 @@ class Site:
         self.finished = len(schedule) == 0
         self.completed_ops = 0
         self._started = False
+        self.crashed = False
+        #: handle of the armed next-operation event (crash cancels it)
+        self._op_event = None
+        #: index of an operation currently blocked on a remote read
+        #: (writes and local reads complete synchronously, so from any
+        #: other event's perspective this is None unless a fetch is out)
+        self._current_index: Optional[int] = None
 
     @property
     def site_id(self) -> int:
@@ -73,13 +80,53 @@ class Site:
         self._started = True
         if not self.finished:
             first_time, _ = self.schedule.items[0]
-            self.sim.schedule_at(first_time, self._execute_next,
-                                 label=f"site{self.site_id} op0")
+            self._op_event = self.sim.schedule_at(
+                first_time, self._execute_next, label=f"site{self.site_id} op0"
+            )
+
+    # ------------------------------------------------------------------
+    # crash-recovery (see repro.sim.crash)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Freeze the schedule: the pending op event dies with the process.
+
+        An operation blocked on a remote read stays noted in
+        ``_current_index`` — its continuation is lost, so :meth:`recover`
+        re-issues that operation from scratch.
+        """
+        self.crashed = True
+        if self._op_event is not None:
+            self._op_event.cancel()
+            self._op_event = None
+
+    def recover(self) -> None:
+        """Resume the schedule after catch-up completed.
+
+        The interrupted remote read (if any) re-executes under the same
+        op_index; subsequent operations fire at ``max(planned, now)`` as
+        usual.
+        """
+        if not self.crashed:
+            raise RuntimeError(f"site {self.site_id} is not crashed")
+        self.crashed = False
+        if self.finished:
+            return
+        if self._current_index is not None:
+            self._next_index = self._current_index
+            self._current_index = None
+        planned, _ = self.schedule.items[self._next_index]
+        start = max(planned, self.sim.now)
+        self._op_event = self.sim.schedule_at(
+            start, self._execute_next,
+            label=f"site{self.site_id} op{self._next_index} (rejoin)",
+        )
 
     # ------------------------------------------------------------------
     def _execute_next(self) -> None:
+        self._op_event = None
         index = self._next_index
         self._next_index += 1
+        self._current_index = index
         _, op = self.schedule.items[index]
         if self.on_operation is not None:
             self.on_operation(self.site_id)
@@ -118,11 +165,19 @@ class Site:
 
     def _operation_done(self) -> None:
         """Completion continuation: arm the next operation or finish."""
+        if self.crashed:
+            # a continuation surviving a crash would double-drive the
+            # schedule after recovery; stale RMs are dropped upstream,
+            # so this is purely defensive
+            return
+        self._current_index = None
         self.completed_ops += 1
         if self._next_index >= len(self.schedule):
             self.finished = True
             return
         planned, _ = self.schedule.items[self._next_index]
         start = max(planned, self.sim.now)
-        self.sim.schedule_at(start, self._execute_next,
-                             label=f"site{self.site_id} op{self._next_index}")
+        self._op_event = self.sim.schedule_at(
+            start, self._execute_next,
+            label=f"site{self.site_id} op{self._next_index}",
+        )

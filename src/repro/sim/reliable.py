@@ -99,6 +99,13 @@ class ReliableChannel:
         self._reorder: dict[int, DataPacket] = {}
         self.duplicate_drops = 0
 
+    @property
+    def paused(self) -> bool:
+        """True while the failure detector suspects ``dst`` is down:
+        sends queue durably but nothing is transmitted and no timer
+        burns — retransmission resumes when the suspicion clears."""
+        return (self.src, self.dst) in self.transport.paused_pairs
+
     # ------------------------------------------------------------------
     # sender side
     # ------------------------------------------------------------------
@@ -106,6 +113,8 @@ class ReliableChannel:
         packet = DataPacket(self.next_seq, payload, size_bytes)
         self.next_seq += 1
         self.unacked[packet.seq] = packet
+        if self.paused:
+            return None
         delivery = self.transport.transmit(self.src, self.dst, packet, size_bytes)
         self._arm_timer()
         return delivery
@@ -127,7 +136,7 @@ class ReliableChannel:
     def flush_retransmit(self) -> None:
         """Eagerly retransmit everything unacked (used when a partition
         heals: no reason to sit out the backed-off timeout)."""
-        if not self.unacked:
+        if not self.unacked or self.paused:
             return
         self.rto = self.transport.policy.base_rto_ms
         self._cancel_timer()
@@ -149,7 +158,7 @@ class ReliableChannel:
 
     def _on_timeout(self) -> None:
         self._timer = None
-        if not self.unacked:
+        if not self.unacked or self.paused:
             return
         self._retransmit_all()
         self.rto = min(self.rto * self.transport.policy.backoff,
@@ -157,7 +166,7 @@ class ReliableChannel:
         self._arm_timer()
 
     def _arm_timer(self) -> None:
-        if self._timer is not None or not self.unacked:
+        if self._timer is not None or not self.unacked or self.paused:
             return
         policy = self.transport.policy
         jitter = (
@@ -214,6 +223,13 @@ class ReliableTransport:
         self._channels: dict[tuple[int, int], ReliableChannel] = {}
         #: site -> heal time of the partition it is recovering from
         self._recovering: dict[int, float] = {}
+        #: (src, dst) pairs whose sender currently suspects the receiver
+        #: is down: transmission and timers are paused (sends still queue)
+        self.paused_pairs: set[tuple[int, int]] = set()
+        #: infra packet interceptors (heartbeats, anti-entropy sync):
+        #: ``handler(src, dst, packet, dead) -> consumed``; tried before
+        #: the ack/data machinery on every physical arrival
+        self.packet_handlers: list = []
         # aggregate counters (mirrored into the collector when attached)
         self.retransmissions = 0
         self.duplicate_drops = 0
@@ -239,8 +255,15 @@ class ReliableTransport:
              size_bytes: float) -> Optional[float]:
         return self.channel(src, dst).send(message, size_bytes)
 
+    def register_packet_handler(self, handler) -> None:
+        """Add an infra packet interceptor (heartbeat / sync layers)."""
+        self.packet_handlers.append(handler)
+
     def deliver_packet(self, phys_src: int, phys_dst: int, packet: object) -> None:
         """Physical delivery entry point (called by the network)."""
+        for handler in self.packet_handlers:
+            if handler(phys_src, phys_dst, packet, False):
+                return
         if isinstance(packet, AckPacket):
             # an ack for channel (a -> b) travels physically b -> a
             ch = self._channels.get((phys_dst, phys_src))
@@ -249,6 +272,14 @@ class ReliableTransport:
             return
         assert isinstance(packet, DataPacket)
         self.channel(phys_src, phys_dst).on_data(packet)
+
+    def on_dead_drop(self, phys_src: int, phys_dst: int, packet: object) -> None:
+        """A packet hit the wire of a down site: data and acks simply
+        vanish (the sender's durable queue covers them), but infra
+        handlers are told so their bookkeeping stays exact."""
+        for handler in self.packet_handlers:
+            if handler(phys_src, phys_dst, packet, True):
+                return
 
     # ------------------------------------------------------------------
     # plumbing back into the network
@@ -303,6 +334,80 @@ class ReliableTransport:
         del self._recovering[site]
         if self.net.collector is not None:
             self.net.collector.record_recovery(site, self.sim.now - heal_time)
+
+    # ------------------------------------------------------------------
+    # crash-recovery hooks (see repro.sim.crash / repro.sim.failure_detector)
+    # ------------------------------------------------------------------
+    def pause_pair(self, src: int, dst: int) -> None:
+        """Suspend transmission on ``src -> dst`` (dst suspected down).
+
+        The unacked queue stays durable at the sender; the timer is
+        cancelled so backoff does not burn while the destination cannot
+        answer.
+        """
+        if (src, dst) in self.paused_pairs:
+            return
+        self.paused_pairs.add((src, dst))
+        ch = self._channels.get((src, dst))
+        if ch is not None:
+            ch._cancel_timer()
+
+    def resume_pair(self, src: int, dst: int, *, flush: bool = True) -> None:
+        """Clear a suspicion pause; optionally retransmit the backlog at
+        the base timeout immediately (the rejoin path wants this)."""
+        if (src, dst) not in self.paused_pairs:
+            return
+        self.paused_pairs.discard((src, dst))
+        ch = self._channels.get((src, dst))
+        if ch is not None and ch.unacked:
+            if flush:
+                ch.flush_retransmit()
+            else:
+                ch.rto = self.policy.base_rto_ms
+                ch._arm_timer()
+
+    def on_site_crash(self, site: int) -> None:
+        """Volatile transport state of ``site`` dies with it.
+
+        Its sender timers and suspicion bookkeeping vanish; its receive
+        reassembly buffers are wiped (everything in them was still
+        unacked at the senders, so nothing acked is lost — the
+        ack-implies-durable invariant).  ``next_seq``/``next_expected``
+        and the unacked queues survive: they mirror durable state.
+        """
+        self.paused_pairs = {p for p in self.paused_pairs if p[0] != site}
+        for (src, dst), ch in self._channels.items():
+            if src == site:
+                ch._cancel_timer()
+            if dst == site:
+                ch._reorder.clear()
+
+    def on_site_recover(self, site: int) -> None:
+        """Rejoin: the revived site flushes its own durable backlog."""
+        for (src, dst), ch in self._channels.items():
+            if src == site and ch.unacked:
+                ch.flush_retransmit()
+
+    def unacked_to(self, site: int, *, from_live_only: bool = False,
+                   down: "Optional[set[int]]" = None) -> int:
+        """Unacked packets destined to ``site`` (optionally only from
+        senders that are currently up — a dead sender's frozen backlog
+        cannot drain until it rejoins)."""
+        total = 0
+        for (src, dst), ch in self._channels.items():
+            if dst != site:
+                continue
+            if from_live_only and down and src in down:
+                continue
+            total += len(ch.unacked)
+        return total
+
+    def unacked_between_live(self, down: "set[int]") -> int:
+        """Unacked packets on channels whose both endpoints are up."""
+        return sum(
+            len(ch.unacked) for (src, dst), ch in self._channels.items()
+            if src not in down and dst not in down
+        )
 
     def blocked_channels(self, now: float) -> list[tuple[int, int]]:
         """Channels with unacked packets severed by a never-healing

@@ -1,0 +1,97 @@
+"""Partition heal racing the retransmission backoff (satellite of the
+crash-recovery PR).
+
+The dangerous interleaving: a partition severs a channel mid-flight, the
+sender's RTO backs off past the heal instant, and the first post-heal
+retransmission races fresh sends on the same channel.  The reliable
+layer must keep per-channel FIFO and exactly-once through that race for
+every protocol — including when a crash window overlaps the partition.
+"""
+
+import pytest
+
+from repro import (
+    CausalCluster,
+    ChannelFaults,
+    ConstantLatency,
+    CrashEvent,
+    FaultPlan,
+    Partition,
+    RetransmitPolicy,
+    SimulationConfig,
+    UniformLatency,
+    run_simulation,
+)
+from repro.verify.causal_checker import check_causal_consistency
+from repro.verify.convergence import check_convergence
+
+from .test_chaos import assert_exactly_once
+
+PROTOCOLS = ["full-track", "opt-track", "opt-track-crp", "optp"]
+
+#: RTO chosen so the backoff doubles *across* the heal boundary: the
+#: partition lasts 700ms while retries back off 120 → 240 → 480 → 960,
+#: guaranteeing some channel's timer is mid-backoff when the cut heals.
+RACY_RETX = RetransmitPolicy(base_rto_ms=120.0, max_rto_ms=2000.0, jitter_ms=10.0)
+
+
+def racy_run(protocol, *, drop_rate=0.25, crashes=(), seed=3, fault_seed=11):
+    plan = FaultPlan.build(
+        default=ChannelFaults(drop_rate=drop_rate),
+        partitions=(
+            Partition([0, 1], 400.0, 1100.0),
+            Partition([3], 1300.0, 1900.0),
+        ),
+        crashes=crashes,
+    )
+    cfg = SimulationConfig(
+        protocol=protocol, n_sites=5, n_vars=10, ops_per_process=30,
+        seed=seed, record_history=True, latency=UniformLatency(5.0, 60.0),
+        fault_plan=plan, fault_seed=fault_seed, retransmit=RACY_RETX,
+    )
+    return run_simulation(cfg)
+
+
+class TestHealRacesRetransmit:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_correct_through_the_race(self, protocol):
+        result = racy_run(protocol)
+        col = result.collector
+        # the race actually happened: cuts dropped packets and the
+        # timers kept firing into (and across) the partition
+        assert col.injected_partition_drops > 0
+        assert col.retransmissions > 0
+        check_causal_consistency(result.history, result.placement).raise_if_violated()
+        conv = check_convergence(result.protocols, result.history)
+        assert conv.ok, conv.illegitimate
+        assert_exactly_once(result)
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_partition_overlapping_crash_window(self, protocol):
+        """Site 3 crashes inside its own partition window and rejoins
+        after the heal: the rejoin catch-up must drain both the held
+        crash backlog and the partition-severed retransmissions."""
+        result = racy_run(protocol, crashes=(CrashEvent(3, 1400.0, 2300.0),))
+        col = result.collector
+        assert col.crashes == 1
+        assert col.downtime.count == 1
+        check_causal_consistency(result.history, result.placement).raise_if_violated()
+        conv = check_convergence(result.protocols, result.history)
+        assert conv.ok, conv.illegitimate
+        assert_exactly_once(result)
+        assert col.lost_ops == 0
+
+    def test_interactive_heal_flushes_backlog_in_order(self):
+        """Writes issued into an active cut arrive post-heal in issue
+        order at the severed site (per-channel FIFO survives the race)."""
+        c = CausalCluster(4, protocol="optp", n_vars=8,
+                          latency=ConstantLatency(10.0),
+                          fault_plan=FaultPlan(), retransmit=RACY_RETX)
+        c.partition({3})
+        for k in range(5):
+            c.write(0, var=0, value=f"v{k}")
+            c.advance(60.0)
+        c.heal()
+        c.settle()
+        assert c.read(3, 0) == "v4"  # last write wins after the flush
+        c.check().raise_if_violated()
