@@ -1,0 +1,175 @@
+"""``python -m repro.check`` — the determinism & metadata sanitizer CLI.
+
+Sub-behaviours (composable in one invocation):
+
+* **lint** (default): run the SIM001..SIM008 AST rules over the given
+  paths (default ``src/``), print ``path:line:col: CODE message`` per
+  finding, exit non-zero on any finding;
+* **--mypy/--no-mypy**: strict-typing gate over ``core/``/``sim/``/
+  ``check/`` (skipped with a notice when mypy is not installed);
+* **--double-run**: determinism smoke — run each protocol twice under
+  the same seed (optionally through a chaos plan) and fail on the first
+  diverging trace event, printing its causal chain.
+
+Examples::
+
+    python -m repro.check src/
+    python -m repro.check --explain SIM003
+    python -m repro.check --double-run --chaos --protocols full-track,optp
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .lint import lint_paths
+from .rules import ALL_RULES, all_rules, rule_by_code
+
+__all__ = ["main", "build_parser"]
+
+#: the four protocols of the paper's comparison (Table IV)
+DEFAULT_PROTOCOLS = ("full-track", "opt-track", "opt-track-crp", "optp")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="determinism & causal-metadata sanitizer "
+                    "(AST lints, typing gate, double-run diff)",
+    )
+    ap.add_argument("paths", nargs="*", type=Path,
+                    help="files/directories to lint (default: src/)")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalog and exit")
+    ap.add_argument("--explain", metavar="CODE",
+                    help="print one rule's rationale and hint, then exit")
+    ap.add_argument("--select", metavar="CODES",
+                    help="comma-separated rule codes to run (default: all)")
+    ap.add_argument("--no-lint", action="store_true",
+                    help="skip the AST lint pass")
+    ap.add_argument("--mypy", dest="mypy", action="store_true", default=None,
+                    help="force the mypy gate (fail if mypy is missing)")
+    ap.add_argument("--no-mypy", dest="mypy", action="store_false",
+                    help="skip the mypy gate")
+    ap.add_argument("--double-run", action="store_true",
+                    help="run the double-run divergence detector")
+    ap.add_argument("--protocols", metavar="NAMES",
+                    default=",".join(DEFAULT_PROTOCOLS),
+                    help="protocols for --double-run (comma-separated)")
+    ap.add_argument("--chaos", action="store_true",
+                    help="route the double run through a seeded chaos plan")
+    ap.add_argument("--n-sites", type=int, default=5,
+                    help="sites for the double-run smoke (default 5)")
+    ap.add_argument("--ops", type=int, default=30,
+                    help="operations per process for --double-run")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="workload/latency seed for --double-run")
+    return ap
+
+
+def _print_rule_catalog() -> None:
+    print("simcheck rules:")
+    for cls in ALL_RULES:
+        print(f"  {cls.code}  {cls.name:24s} {cls.rationale}")
+    print("  SIM000  unjustified-suppression  "
+          "a simcheck: ignore[...] comment without ' -- reason'")
+
+
+def _explain(code: str) -> int:
+    if code == "SIM000":
+        print("SIM000 unjustified-suppression: every suppression must "
+              "carry ' -- <why this is safe>' after the rule list.")
+        return 0
+    try:
+        rule = rule_by_code(code)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(f"{rule.code} {rule.name}")
+    print(f"  why : {rule.rationale}")
+    print(f"  fix : {rule.hint}")
+    print("  mute: append  # simcheck: ignore[{}] -- <justification>"
+          .format(rule.code))
+    return 0
+
+
+def _run_lint(paths: Sequence[Path], select: Optional[str]) -> int:
+    rules = all_rules()
+    if select:
+        wanted = {c.strip() for c in select.split(",") if c.strip()}
+        rules = [r for r in rules if r.code in wanted]
+    root = Path.cwd()
+    findings = lint_paths(list(paths), rules, root=root)
+    for f in findings:
+        print(f.format())
+    n = len(findings)
+    print(f"simcheck lint: {n} finding{'s' if n != 1 else ''} "
+          f"in {len(list(paths))} path(s)")
+    return 1 if findings else 0
+
+
+def _run_mypy(*, force: bool) -> int:
+    from .typing_gate import run_mypy
+
+    result = run_mypy(Path.cwd())
+    if result.status == "skipped":
+        print(result.output)
+        return 1 if force else 0
+    print(result.output.rstrip() or f"mypy: {result.status}")
+    return 0 if result.ok else 1
+
+
+def _run_double(args: argparse.Namespace) -> int:
+    from ..experiments.runner import SimulationConfig
+    from ..sim.faults import FaultPlan
+    from .sanitizer import double_run
+
+    plan = None
+    if args.chaos:
+        plan = FaultPlan.uniform(drop_rate=0.05, dup_rate=0.02,
+                                 spike_rate=0.02)
+    failures = 0
+    for proto in [p.strip() for p in args.protocols.split(",") if p.strip()]:
+        config = SimulationConfig(
+            protocol=proto,
+            n_sites=args.n_sites,
+            n_vars=40,
+            ops_per_process=args.ops,
+            seed=args.seed,
+            fault_plan=plan,
+            fault_seed=args.seed,
+        )
+        report = double_run(config)
+        print(report.format())
+        if not report.identical:
+            failures += 1
+    if failures:
+        print(f"double-run: {failures} protocol(s) diverged")
+        return 1
+    print("double-run: all protocols bit-deterministic")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rule_catalog()
+        return 0
+    if args.explain:
+        return _explain(args.explain)
+    exit_code = 0
+    if not args.no_lint:
+        paths = args.paths or [Path("src")]
+        exit_code |= _run_lint(paths, args.select)
+    if args.mypy is not False and not args.no_lint or args.mypy:
+        exit_code |= _run_mypy(force=bool(args.mypy))
+    if args.double_run:
+        exit_code |= _run_double(args)
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""simcheck rule registry: SIM001..SIM008.
+
+==========  ======================  =====================================
+code        name                    guards against
+==========  ======================  =====================================
+``SIM001``  wall-clock              host time leaking into simulated runs
+``SIM002``  unseeded-random         hidden global RNG state
+``SIM003``  set-iteration           hash-order iteration on hot paths
+``SIM004``  mutable-default         call-to-call shared default containers
+``SIM005``  mutate-after-send       aliased message metadata rewritten
+``SIM006``  float-ts-equality       exact == on accumulated float times
+``SIM007``  raw-heapq               priority queues without (time, seq)
+``SIM008``  no-print                debug prints in library code
+==========  ======================  =====================================
+
+``SIM000`` is the framework's own pseudo-rule: a suppression comment
+without a ``-- justification``.
+"""
+
+from __future__ import annotations
+
+from ..lint import Rule
+from .aliasing import MutateAfterSendRule
+from .defaults import MutableDefaultRule
+from .floateq import FloatTimestampEqualityRule
+from .heap import RawHeapqRule
+from .iteration import SetIterationRule
+from .printing import NoPrintRule
+from .randomness import UnseededRandomRule
+from .wallclock import WallClockRule
+
+__all__ = ["ALL_RULES", "all_rules", "rule_by_code"]
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    WallClockRule,
+    UnseededRandomRule,
+    SetIterationRule,
+    MutableDefaultRule,
+    MutateAfterSendRule,
+    FloatTimestampEqualityRule,
+    RawHeapqRule,
+    NoPrintRule,
+)
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in SIM-code order."""
+    return [cls() for cls in ALL_RULES]
+
+
+def rule_by_code(code: str) -> Rule:
+    for cls in ALL_RULES:
+        if cls.code == code:
+            return cls()
+    raise KeyError(f"unknown rule {code!r}; known: "
+                   f"{[c.code for c in ALL_RULES]}")

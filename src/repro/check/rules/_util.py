@@ -1,0 +1,49 @@
+"""Shared AST helpers for the simcheck rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+__all__ = ["dotted_name", "walk_scopes", "ScopeNode", "call_name", "is_hot_path"]
+
+#: function-like scope nodes (each gets its own symbol table in rules)
+ScopeNode = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, None for anything dynamic."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call's callee (None when not statically nameable)."""
+    return dotted_name(node.func)
+
+
+def walk_scopes(tree: ast.AST) -> Iterator[ast.AST]:
+    """Yield module + every function scope (for per-scope analyses)."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, ScopeNode):
+            yield node
+
+
+def is_hot_path(display_path: str) -> bool:
+    """True for the determinism-critical protocol directories.
+
+    ``core/`` and ``sim/`` execute inside the event loop; ``verify/``
+    must report identical verdicts across runs to be a usable oracle.
+    """
+    norm = display_path.replace("\\", "/")
+    return any(
+        f"repro/{d}/" in norm or norm.startswith(f"{d}/")
+        for d in ("core", "sim", "verify")
+    )

@@ -1,0 +1,144 @@
+"""SIM005: mutating a message (or metadata captured into one) after send.
+
+Messages are frozen dataclasses, but the tuples/frozensets *inside*
+them — Dests lists, piggyback logs, clock rows — are captured by
+reference at construction.  Mutating such an object after the message
+entered the network mutates in-flight (and possibly already-delivered)
+state at other sites: silent cross-site aliasing that invalidates the
+metadata-size accounting the paper's comparisons rest on.
+
+The rule is an intra-function, best-effort dataflow check: it records
+names passed to ``send``/``multicast`` helpers (and names captured into
+a message constructed inline in the send call), then flags any mutation
+of those names on a later line of the same function.  The runtime
+sanitizer (:mod:`repro.check.sanitizer`) catches what this static
+approximation cannot prove.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..lint import Finding, Rule, SourceFile
+from ._util import ScopeNode
+
+__all__ = ["MutateAfterSendRule"]
+
+_SEND_NAMES = frozenset({"send", "multicast", "_send", "_multicast", "_transmit_raw"})
+_MUTATORS = frozenset(
+    {"append", "add", "update", "extend", "insert", "pop", "remove",
+     "discard", "clear", "sort", "reverse", "setdefault", "popitem",
+     "increment", "merge"}
+)
+
+
+class MutateAfterSendRule(Rule):
+    code = "SIM005"
+    name = "mutate-after-send"
+    rationale = (
+        "an object captured into a sent message is shared with every "
+        "receiver; mutating it after send rewrites in-flight metadata"
+    )
+    hint = (
+        "copy before sending (tuple(...)/frozenset(...)/clock.copy()) or "
+        "build the message from an immutable snapshot"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(src, node)
+
+    # ------------------------------------------------------------------
+    def _check_function(
+        self, src: SourceFile, fn: ast.AST
+    ) -> Iterator[Finding]:
+        #: name -> line of the earliest send that captured it
+        sent: dict[str, int] = {}
+        for node in ast.walk(fn):
+            if isinstance(node, ScopeNode) and node is not fn:
+                continue  # nested scopes are checked on their own
+            if isinstance(node, ast.Call) and _is_send_call(node):
+                for ref in _captured_refs(node):
+                    line = sent.get(ref)
+                    if line is None or node.lineno < line:
+                        sent[ref] = node.lineno
+        if not sent:
+            return
+        for node in ast.walk(fn):
+            ref: Optional[str] = None
+            what = ""
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for tgt in targets:
+                    if isinstance(tgt, (ast.Attribute, ast.Subscript)):
+                        ref = _root_ref(tgt.value)
+                        what = "assignment into"
+                        break
+            elif isinstance(node, ast.Call):
+                f = node.func
+                if isinstance(f, ast.Attribute) and f.attr in _MUTATORS:
+                    ref = _root_ref(f.value)
+                    what = f".{f.attr}() on"
+            if ref is None:
+                continue
+            line = sent.get(ref)
+            if line is not None and node.lineno > line:
+                yield self.finding(
+                    src, node,
+                    f"{what} {ref!r} after it was captured into a message "
+                    f"sent at line {line}",
+                )
+
+
+def _is_send_call(node: ast.Call) -> bool:
+    f = node.func
+    name = f.attr if isinstance(f, ast.Attribute) else (
+        f.id if isinstance(f, ast.Name) else None
+    )
+    return name in _SEND_NAMES
+
+
+def _captured_refs(send_call: ast.Call) -> Iterator[str]:
+    """Names aliased into the sent message by this call.
+
+    Both the message argument itself (when it is a plain name) and any
+    name captured into a message constructed *inline* in the send call
+    (``self._send(dst, SomeSM(log=entries))`` captures ``entries``).
+    """
+    values = list(send_call.args) + [kw.value for kw in send_call.keywords]
+    for value in values:
+        ref = _root_ref(value, whole=True)
+        if ref is not None:
+            yield ref
+        if isinstance(value, ast.Call) and not _is_send_call(value):
+            inner = list(value.args) + [kw.value for kw in value.keywords]
+            for arg in inner:
+                ref = _root_ref(arg, whole=True)
+                if ref is not None:
+                    yield ref
+
+
+def _root_ref(node: ast.AST, *, whole: bool = False) -> Optional[str]:
+    """Symbolic key for a name or a ``self.x`` attribute.
+
+    For mutation targets the *root* container is what matters
+    (``msg.log.append`` mutates ``msg``); with ``whole=True`` an exact
+    one-level attribute (``self.x``) keys as ``"self.x"`` so that
+    capturing ``self.log`` and later mutating ``self.log`` match.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        if isinstance(node.value, ast.Name):
+            base = node.value.id
+            if base == "self":
+                return f"self.{node.attr}"
+            return base if not whole else None
+        return _root_ref(node.value)
+    if isinstance(node, ast.Subscript):
+        return _root_ref(node.value)
+    return None

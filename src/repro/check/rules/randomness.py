@@ -1,0 +1,101 @@
+"""SIM002: unseeded randomness.
+
+Every random draw in the system must come from an *injected* generator —
+a ``random.Random(seed)`` instance or a ``numpy`` ``Generator`` built
+from an explicit seed — so that the full run replays bit-identically.
+Module-level ``random.*`` calls share hidden global state seeded from
+the OS; ``np.random.default_rng()`` with no argument is seeded from
+entropy.  Either one silently breaks every benchmark comparison.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import Finding, Rule, SourceFile
+from ._util import call_name
+
+__all__ = ["UnseededRandomRule"]
+
+#: module-level functions of the stdlib ``random`` module (hidden state)
+_RANDOM_FNS = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "normalvariate", "expovariate",
+        "betavariate", "triangular", "seed", "getrandbits", "vonmisesvariate",
+        "paretovariate", "weibullvariate", "lognormvariate",
+    }
+)
+#: legacy numpy global-state functions (np.random.rand etc.)
+_NP_RANDOM_OK = frozenset({"Generator", "SeedSequence", "RandomState", "default_rng"})
+
+
+class UnseededRandomRule(Rule):
+    code = "SIM002"
+    name = "unseeded-random"
+    rationale = (
+        "module-level random calls use hidden global state; all draws "
+        "must come from an injected, explicitly seeded generator"
+    )
+    hint = (
+        "draw from an injected random.Random(seed) / "
+        "np.random.default_rng(seed) instance instead of module-level state"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        random_aliases = _random_module_aliases(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            # random.shuffle(...) on the stdlib module (Random() is fine)
+            if (
+                len(parts) == 2
+                and parts[0] in random_aliases
+                and parts[1] in _RANDOM_FNS
+            ):
+                yield self.finding(
+                    src, node, f"unseeded stdlib random call {name}()"
+                )
+            # bare Random() with no seed argument
+            elif parts[-1] == "Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    src, node,
+                    "random.Random() without a seed argument",
+                    hint="pass an explicit seed: random.Random(seed)",
+                )
+            # numpy legacy global state: np.random.rand / np.random.seed ...
+            elif (
+                len(parts) >= 2
+                and parts[-2] == "random"
+                and parts[0] in ("np", "numpy")
+                and parts[-1] not in _NP_RANDOM_OK
+            ):
+                yield self.finding(
+                    src, node, f"numpy global-state random call {name}()"
+                )
+            # np.random.default_rng() with no seed is entropy-seeded
+            elif (
+                parts[-1] == "default_rng"
+                and not node.args
+                and not node.keywords
+            ):
+                yield self.finding(
+                    src, node,
+                    "default_rng() without a seed draws OS entropy",
+                    hint="pass an explicit seed: np.random.default_rng(seed)",
+                )
+
+
+def _random_module_aliases(tree: ast.AST) -> set[str]:
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    aliases.add(alias.asname or "random")
+    return aliases

@@ -1,0 +1,90 @@
+"""SIM001: wall-clock reads outside benchmarks.
+
+The simulation's only clock is :attr:`repro.sim.engine.Simulator.now`.
+A ``time.time()`` (or friends) on a protocol path leaks host timing into
+results, so two runs of the same seed stop being comparable.  Real-time
+measurement belongs in ``benchmarks/`` (or behind a justified
+suppression for wall-clock *reporting*, never *logic*).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import Finding, Rule, SourceFile
+from ._util import call_name
+
+__all__ = ["WallClockRule"]
+
+#: banned functions of the ``time`` module
+_TIME_FNS = frozenset(
+    {
+        "time", "time_ns", "monotonic", "monotonic_ns",
+        "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+    }
+)
+#: banned constructors on datetime/date classes
+_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+
+class WallClockRule(Rule):
+    code = "SIM001"
+    name = "wall-clock"
+    rationale = (
+        "host wall-clock reads make seeded runs non-reproducible; the "
+        "simulated clock is Simulator.now"
+    )
+    hint = (
+        "use the simulated clock (ctx.sim.now / self.sim.now); real-time "
+        "measurement belongs in benchmarks/"
+    )
+
+    def applies_to(self, display_path: str) -> bool:
+        return "benchmarks/" not in display_path.replace("\\", "/")
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        time_aliases, datetime_names = _clock_imports(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            # time.perf_counter(), t.monotonic() under `import time as t`
+            if len(parts) == 2 and parts[0] in time_aliases and parts[1] in _TIME_FNS:
+                yield self.finding(src, node, f"wall-clock call {name}()")
+            # bare perf_counter() after `from time import perf_counter`
+            elif len(parts) == 1 and parts[0] in time_aliases and parts[0] in _TIME_FNS:
+                yield self.finding(src, node, f"wall-clock call {name}()")
+            # datetime.now() / datetime.datetime.now() / date.today()
+            elif (
+                len(parts) >= 2
+                and parts[-1] in _DATETIME_FNS
+                and parts[-2] in datetime_names
+            ):
+                yield self.finding(src, node, f"wall-clock call {name}()")
+
+
+def _clock_imports(tree: ast.AST) -> tuple[set[str], set[str]]:
+    """(aliases of the time module or its functions, datetime class names)."""
+    time_aliases: set[str] = set()
+    datetime_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    time_aliases.add(alias.asname or "time")
+                elif alias.name == "datetime":
+                    datetime_names.add(alias.asname or "datetime")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name in _TIME_FNS:
+                        time_aliases.add(alias.asname or alias.name)
+            elif node.module == "datetime":
+                for alias in node.names:
+                    if alias.name in ("datetime", "date"):
+                        datetime_names.add(alias.asname or alias.name)
+    return time_aliases, datetime_names

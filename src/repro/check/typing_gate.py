@@ -1,0 +1,60 @@
+"""Strict-typing gate: run mypy over the hot packages when available.
+
+The container this repo develops in does not always ship mypy; CI
+installs it (see the ``check`` workflow job).  The gate therefore has
+three outcomes: ``passed``, ``failed`` (findings, non-zero exit), and
+``skipped`` (mypy not importable — reported loudly, but not an error,
+so `python -m repro.check` stays usable offline).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["MypyResult", "run_mypy", "mypy_available", "MYPY_TARGETS"]
+
+#: packages under strict per-module configuration in pyproject.toml
+MYPY_TARGETS = ("src/repro/core", "src/repro/sim", "src/repro/check")
+
+
+@dataclass(frozen=True)
+class MypyResult:
+    status: str  # "passed" | "failed" | "skipped"
+    output: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "failed"
+
+
+def mypy_available() -> bool:
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run_mypy(
+    root: Path, targets: Optional[tuple[str, ...]] = None
+) -> MypyResult:
+    """Invoke ``python -m mypy`` over ``targets`` relative to ``root``."""
+    if not mypy_available():
+        return MypyResult(
+            status="skipped",
+            output="mypy is not installed; typing gate skipped "
+                   "(pip install -e '.[dev]' to enable)",
+        )
+    paths = [str(root / t) for t in (targets or MYPY_TARGETS)]
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", *paths],
+        cwd=root,
+        capture_output=True,
+        text=True,
+    )
+    status = "passed" if proc.returncode == 0 else "failed"
+    return MypyResult(status=status, output=proc.stdout + proc.stderr)

@@ -185,22 +185,23 @@ class OptTrackLog:
             if c > newest.get(j, 0):
                 newest[j] = c
         stripped: list[PiggybackEntry] = []
-        containing: dict[int, list] = {d: [] for d in write_dests}
+        dest_order = sorted(write_dests)
+        containing: dict[int, list] = {d: [] for d in dest_order}
         for (j, c) in sorted(self._entries):
             rec = self._entries[(j, c)]
             kept = rec - write_dests
             if not kept and newest[j] != c:
                 # dead unless some destination in write_dests still needs
                 # it — those copies are patched in per destination below
-                for d in rec:  # rec == rec & write_dests here
+                for d in sorted(rec):  # rec == rec & write_dests here
                     containing[d].append((j, c))
                 continue
             stripped.append(PiggybackEntry(j, c, frozenset(kept)))
-            for d in rec & write_dests:
+            for d in sorted(rec & write_dests):
                 containing[d].append(len(stripped) - 1)
         base = tuple(stripped)
         views: dict[int, tuple[PiggybackEntry, ...]] = {}
-        for d in write_dests:
+        for d in dest_order:
             marks = containing[d]
             if not marks:
                 views[d] = base  # shared: d appears in no record

@@ -111,6 +111,12 @@ class SimulationConfig:
     detector: Optional[DetectorPolicy] = None
     #: anti-entropy catch-up tuning for the rejoin path
     catchup: Optional[CatchupPolicy] = None
+    #: route all traffic through the frozen-message sanitizer
+    #: (:mod:`repro.check.sanitizer`): every message is fingerprinted at
+    #: send and verified at each delivery — any post-send mutation of
+    #: aliased metadata raises.  Off by default (costs a deep copy +
+    #: hash per message); the simulation itself is unchanged either way.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.n_sites <= 0:
@@ -226,6 +232,10 @@ def run_simulation(
                       bandwidth_bytes_per_ms=config.bandwidth_bytes_per_ms,
                       faults=faults, collector=collector,
                       retransmit=config.retransmit, tracer=tracer)
+    if config.sanitize:
+        from ..check.sanitizer import SanitizedNetwork
+
+        network = SanitizedNetwork(network)  # type: ignore[assignment]
     history = HistoryRecorder(enabled=config.record_history)
     if tracer is not None:
         sim.observer = tracer.on_sim_event

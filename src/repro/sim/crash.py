@@ -201,6 +201,7 @@ class CrashRecoveryManager:
 
     def down_forever(self) -> set[int]:
         """Down sites with no scheduled recovery (crash-stop victims)."""
+        # simcheck: ignore[SIM003] -- set-to-set filter; construction order is never observable
         return {s for s in self.down if s not in self._recovery_scheduled}
 
     # ------------------------------------------------------------------
@@ -475,7 +476,7 @@ class CrashRecoveryManager:
         if self.transport is not None:
             # retransmissions into a dead site keep the loop alive until
             # its senders suspect it and pause; wait for that to settle
-            for d in self.down:
+            for d in sorted(self.down):
                 if self.transport.unacked_to(d, from_live_only=True,
                                              down=self.down):
                     for src in range(self.n):

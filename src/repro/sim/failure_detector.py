@@ -206,7 +206,7 @@ class FailureDetector:
     def note_crash(self, site: int) -> None:
         """The crashed site's *observer* state is volatile — its own
         suspicions die with it (the transport cleared its pauses)."""
-        for pair in [p for p in self.suspected if p[0] == site]:
+        for pair in [p for p in sorted(self.suspected) if p[0] == site]:
             self.suspected.discard(pair)
 
     def note_recover(self, site: int) -> None:

@@ -20,13 +20,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from .engine import ScheduledEvent
 from .faults import FaultInjector
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
     from .network import Network
+
+#: infra packet interceptor signature:
+#: ``handler(src, dst, packet, dead) -> consumed``
+PacketHandler = Callable[[int, int, object, bool], bool]
 
 __all__ = [
     "RetransmitPolicy",
@@ -229,7 +233,7 @@ class ReliableTransport:
         #: infra packet interceptors (heartbeats, anti-entropy sync):
         #: ``handler(src, dst, packet, dead) -> consumed``; tried before
         #: the ack/data machinery on every physical arrival
-        self.packet_handlers: list = []
+        self.packet_handlers: list[PacketHandler] = []
         # aggregate counters (mirrored into the collector when attached)
         self.retransmissions = 0
         self.duplicate_drops = 0
@@ -255,7 +259,7 @@ class ReliableTransport:
              size_bytes: float) -> Optional[float]:
         return self.channel(src, dst).send(message, size_bytes)
 
-    def register_packet_handler(self, handler) -> None:
+    def register_packet_handler(self, handler: "PacketHandler") -> None:
         """Add an infra packet interceptor (heartbeat / sync layers)."""
         self.packet_handlers.append(handler)
 
@@ -375,6 +379,7 @@ class ReliableTransport:
         ack-implies-durable invariant).  ``next_seq``/``next_expected``
         and the unacked queues survive: they mirror durable state.
         """
+        # simcheck: ignore[SIM003] -- set-to-set filter; construction order is never observable
         self.paused_pairs = {p for p in self.paused_pairs if p[0] != site}
         for (src, dst), ch in self._channels.items():
             if src == site:
