@@ -40,10 +40,12 @@ def is_hot_path(display_path: str) -> bool:
     """True for the determinism-critical protocol directories.
 
     ``core/`` and ``sim/`` execute inside the event loop; ``verify/``
-    must report identical verdicts across runs to be a usable oracle.
+    must report identical verdicts across runs to be a usable oracle;
+    ``perf/`` drives the regression-gated benchmark runs, so an
+    accidental O(n^2) there skews the numbers the gate compares.
     """
     norm = display_path.replace("\\", "/")
     return any(
         f"repro/{d}/" in norm or norm.startswith(f"{d}/")
-        for d in ("core", "sim", "verify")
+        for d in ("core", "sim", "verify", "perf")
     )

@@ -29,7 +29,10 @@ _SEND_NAMES = frozenset({"send", "multicast", "_send", "_multicast", "_transmit_
 _MUTATORS = frozenset(
     {"append", "add", "update", "extend", "insert", "pop", "remove",
      "discard", "clear", "sort", "reverse", "setdefault", "popitem",
-     "increment", "merge"}
+     "increment", "merge",
+     # OptTrackLog / TupleLog in-place pruning API: these rewrite
+     # destination sets that may be aliased into in-flight piggybacks
+     "remove_dests", "purge", "reset"}
 )
 
 

@@ -22,6 +22,7 @@ _ALLOWED_SUFFIXES = (
     "repro/cli.py",
     "repro/experiments/figures.py",
     "repro/check/cli.py",
+    "repro/perf/cli.py",
 )
 
 

@@ -37,11 +37,14 @@ class WallClockRule(Rule):
     )
     hint = (
         "use the simulated clock (ctx.sim.now / self.sim.now); real-time "
-        "measurement belongs in benchmarks/"
+        "measurement belongs in benchmarks/ or repro/perf/"
     )
 
     def applies_to(self, display_path: str) -> bool:
-        return "benchmarks/" not in display_path.replace("\\", "/")
+        norm = display_path.replace("\\", "/")
+        # benchmarks/ and the in-package perf harness exist to measure
+        # wall time; everything else must use the simulated clock
+        return "benchmarks/" not in norm and "repro/perf/" not in norm
 
     def check(self, src: SourceFile) -> Iterator[Finding]:
         time_aliases, datetime_names = _clock_imports(src.tree)

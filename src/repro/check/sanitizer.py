@@ -108,8 +108,13 @@ def _feed(h: "hashlib._Hash", obj: object) -> None:
         h.update(tobytes())
         h.update(b";")
         return
-    inner = getattr(obj, "m", None)  # MatrixClock / VectorClock wrap arrays
-    if inner is not None:
+    # MatrixClock (.m) / VectorClock (.v) wrap arrays; fingerprint the
+    # array alone so their lazy tolist caches (populated on first hot-
+    # path read, logically immutable) don't register as mutations
+    inner = getattr(obj, "m", None)
+    if inner is None:
+        inner = getattr(obj, "v", None)
+    if inner is not None and callable(getattr(inner, "tobytes", None)):
         h.update(f"clock:{type(obj).__name__}:".encode())
         _feed(h, inner)
         return

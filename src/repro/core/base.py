@@ -7,11 +7,18 @@ Every protocol implements the paper's process model (Section IV-A): an
 
 The base class centralizes the machinery all four protocols share:
 
-* the pending-SM buffer with fixpoint re-scanning — whenever any update
-  is applied, previously blocked updates may have become applicable, so
-  the buffer is re-scanned until no progress is made (this realizes the
-  per-message waiting threads of the paper's JDK testbed without
-  threads);
+* the pending-SM buffer with **dependency-indexed wakeups** — every
+  activation predicate here is a pure, monotone function of the local
+  ``applied`` array, so a blocked message registers the first
+  ``(writer, threshold)`` pair its predicate is waiting on and is only
+  re-tested when ``applied[writer]`` crosses that threshold.  This
+  replaces the historical full fixpoint re-scan (O(P) predicate tests
+  per application, O(P^2) per delivery burst) while activating the exact
+  same messages in the exact same order — see ``_drain`` and
+  docs/architecture.md, "Hot path & performance model".  The legacy
+  re-scan survives as ``_drain_legacy`` (selectable via
+  :func:`set_drain_mode`) because the equivalence property test runs
+  whole simulations under both modes and compares traces;
 * the remote-fetch state machine (issue FM, buffer the RM until its
   gating predicate holds, complete the blocked read);
 * metered send/multicast helpers that price each message against the
@@ -20,13 +27,19 @@ The base class centralizes the machinery all four protocols share:
 
 Concrete protocols override the small, well-named primitive methods
 (``_sm_ready``, ``_apply_sm``, ``_rm_ready``, ``_complete_rm`` ...)
-rather than the control flow.
+rather than the control flow, plus the ``_sm_blocker``/``_rm_blocker``
+hooks that name the first unsatisfied threshold of a false predicate (a
+protocol may return ``None`` to fall back to re-testing every pass).
 """
 
 from __future__ import annotations
 
 import abc
+import os
+from bisect import insort
 from dataclasses import dataclass, field, replace
+from heapq import heappop, heappush
+from operator import attrgetter
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -50,11 +63,51 @@ __all__ = [
     "create_protocol",
     "protocol_names",
     "get_protocol_class",
+    "set_drain_mode",
+    "get_drain_mode",
+    "set_debug_wakeups",
 ]
 
 #: Signature of the continuation a read hands to the protocol:
 #: ``on_complete(value, write_id_or_None, was_remote)``.
 ReadCallback = Callable[[object, Optional[WriteId], bool], None]
+
+#: drain implementations selectable via :func:`set_drain_mode`
+DRAIN_INDEXED = "indexed"
+DRAIN_LEGACY = "legacy"
+
+_drain_mode: str = DRAIN_INDEXED
+
+#: when True, every drain fixpoint is followed by a full re-scan
+#: asserting that no pending message is applicable — i.e. that the
+#: wakeup index never misses an activation the legacy re-scan would
+#: have found.  Costly; enabled by the equivalence tests and the
+#: REPRO_DEBUG_WAKEUPS environment variable.
+_debug_wakeups: bool = os.environ.get("REPRO_DEBUG_WAKEUPS", "") not in ("", "0")
+
+
+def set_drain_mode(mode: str) -> None:
+    """Select the drain implementation for protocols built afterwards.
+
+    ``"indexed"`` (default) uses the dependency-indexed wakeup path;
+    ``"legacy"`` uses the historical full fixpoint re-scan.  The setting
+    is read at protocol construction, so it must be chosen before
+    ``run_simulation`` builds its protocol instances.
+    """
+    if mode not in (DRAIN_INDEXED, DRAIN_LEGACY):
+        raise ValueError(f"unknown drain mode {mode!r}")
+    global _drain_mode
+    _drain_mode = mode
+
+
+def get_drain_mode() -> str:
+    return _drain_mode
+
+
+def set_debug_wakeups(enabled: bool) -> None:
+    """Toggle the indexed-vs-rescan equivalence assertion (see module doc)."""
+    global _debug_wakeups
+    _debug_wakeups = enabled
 
 
 @dataclass
@@ -74,31 +127,60 @@ class ProtocolContext:
     tracer: Optional[Tracer] = None
 
 
-@dataclass(eq=False)  # identity equality: buffered entries must be distinct
-class _PendingSM:
+class _Pending:
+    """A buffered message awaiting its predicate, with wakeup state.
+
+    ``seq`` is the per-protocol arrival number — within one kind it is
+    exactly the position order of the legacy pending list, which is what
+    makes indexed activation order reproduce the legacy scan order.
+    ``dirty`` marks the entry as queued for (re-)testing; ``blocker`` is
+    the ``(writer, threshold)`` registration currently held in the
+    owner's wakeup index (``None`` when dirty, newly arrived, or in the
+    always-retest fallback).  Identity equality: buffered entries must
+    be distinct.
+    """
+
+    __slots__ = ("src", "message", "arrived", "seq", "dirty", "blocker")
+
+    #: scan-kind discriminator: 0 = SM, 1 = RM, 2 = FM (scan order)
+    kind: int = -1
+
+    def __init__(self, src: int, message: object, arrived: float,
+                 seq: int = 0) -> None:
+        self.src = src
+        self.message = message
+        self.arrived = arrived
+        self.seq = seq
+        self.dirty = False
+        self.blocker: Optional[tuple[int, int]] = None
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(src={self.src}, seq={self.seq}, "
+                f"dirty={self.dirty}, blocker={self.blocker})")
+
+
+class _PendingSM(_Pending):
     """An update buffered until its activation predicate becomes true."""
 
-    src: int
-    message: object
-    arrived: float
+    __slots__ = ()
+    kind = 0
 
 
-@dataclass(eq=False)
-class _PendingRM:
+class _PendingRM(_Pending):
     """A remote return buffered until its gating predicate becomes true."""
 
-    src: int
-    message: object
-    arrived: float
+    __slots__ = ()
+    kind = 1
 
 
-@dataclass(eq=False)
-class _PendingFM:
+class _PendingFM(_Pending):
     """A fetch request buffered until the reader's requirements are met."""
 
-    src: int
-    message: object
-    arrived: float
+    __slots__ = ()
+    kind = 2
+
+
+_SEQ_KEY = attrgetter("seq")
 
 
 @dataclass
@@ -145,6 +227,28 @@ class CausalProtocol(abc.ABC):
         self._fetches: dict[int, _OutstandingFetch] = {}
         self._next_request_id = 0
         self._draining = False
+        #: high-water mark of the buffered-SM count (perf harness metric)
+        self.pending_sm_peak = 0
+        #: monotone arrival counter feeding ``_Pending.seq``
+        self._arrival_seq = 0
+        # Wakeup index (indexed drain mode only; None selects the legacy
+        # full-rescan drain).  ``_waiters[j]`` is a min-heap of
+        # ``(threshold, seq, entry)``: entries whose predicate is waiting
+        # for ``applied[j] >= threshold``.  ``_dirty[kind]`` holds the
+        # entries queued for (re-)testing, in wake order (sorted by seq
+        # at scan time).
+        if _drain_mode == DRAIN_INDEXED:
+            self._waiters: Optional[list[list[tuple[int, int, _Pending]]]] = [
+                [] for _ in range(self.n)
+            ]
+            self._dirty: list[list[_Pending]] = [[], [], []]
+        else:
+            self._waiters = None
+            self._dirty = [[], [], []]
+        #: active-scan state for same-kind forward wakeups (see ``_wake``)
+        self._scan_kind = -1
+        self._scan_pos = -1
+        self._scan_batch: list[_Pending] = []
         #: durable disk (crash-recovery); ``None`` keeps the seed path
         #: byte-identical — no WAL branch is ever taken
         self._wal: "Optional[SiteDisk]" = None
@@ -226,33 +330,321 @@ class CausalProtocol(abc.ABC):
             # logged before processing: the reliable transport acks only
             # after this returns, so an acked message is always durable
             self._wal.log_recv(src, message)
+        now = self.ctx.sim.now
         if isinstance(message, FetchMessage):
             # Serving is deferred until every write the reader causally
             # requires of this site has been applied here — otherwise the
             # reply could be causally behind the reader's own knowledge
             # (DESIGN.md, "gating fetch service").
-            self._pending_fm.append(_PendingFM(src, message, self.ctx.sim.now))
+            fm = _PendingFM(src, message, now, self._arrival_seq)
+            self._arrival_seq += 1
+            self._pending_fm.append(fm)
+            if self._waiters is not None:
+                self._mark_dirty(fm)
             self._drain()
             return
         if self._is_rm(message):
-            self._pending_rm.append(_PendingRM(src, message, self.ctx.sim.now))
+            rm = _PendingRM(src, message, now, self._arrival_seq)
+            self._arrival_seq += 1
+            self._pending_rm.append(rm)
+            if self._waiters is not None:
+                self._mark_dirty(rm)
             self._drain()
             return
         # anything else is this protocol's SM type
-        self._pending_sm.append(_PendingSM(src, message, self.ctx.sim.now))
+        sm = _PendingSM(src, message, now, self._arrival_seq)
+        self._arrival_seq += 1
+        self._pending_sm.append(sm)
+        if len(self._pending_sm) > self.pending_sm_peak:
+            self.pending_sm_peak = len(self._pending_sm)
+        if self._waiters is not None:
+            self._mark_dirty(sm)
         self._drain()
+
+    # ------------------------------------------------------------------
+    # dependency-indexed wakeup machinery
+    # ------------------------------------------------------------------
+    def _mark_dirty(self, entry: _Pending) -> None:
+        """Queue ``entry`` for (re-)testing, preserving legacy scan order.
+
+        The legacy pass structure is: one outer pass = SM sweep, then RM
+        sweep, then FM sweep; a sweep visits entries in list (= seq)
+        order once, and an entry that becomes applicable *behind* the
+        sweep position is only caught by the next pass, while one *ahead*
+        of it is caught by the same sweep.  Routing reproduces exactly
+        that: a same-kind wake ahead of the active sweep joins it (in
+        seq order); everything else goes to its kind's dirty list, which
+        the current pass (for later kinds) or the next pass (for earlier
+        or same-kind-behind wakes) will sweep.
+        """
+        entry.dirty = True
+        k = entry.kind
+        if k == self._scan_kind and entry.seq > self._scan_pos:
+            insort(self._scan_batch, entry, key=_SEQ_KEY)
+        else:
+            self._dirty[k].append(entry)
+
+    def _wake(self, entry: _Pending) -> None:
+        entry.blocker = None
+        if not entry.dirty:
+            self._mark_dirty(entry)
+
+    def _note_applied(self, j: int) -> None:
+        """``applied[j]`` advanced: wake every entry whose registered
+        threshold is now crossed.
+
+        Concrete protocols call this after *every* mutation of their
+        ``applied`` array — that call is what maintains the core
+        invariant (a non-dirty entry's predicate is false), so the
+        indexed drain never needs a full re-scan.
+        """
+        if self._waiters is None:
+            return
+        heap = self._waiters[j]
+        if not heap:
+            return
+        a = self.applied[j]  # type: ignore[attr-defined]
+        while heap and heap[0][0] <= a:
+            threshold, _seq, entry = heappop(  # simcheck: ignore[SIM007] -- (threshold, seq) keys are unique, so pops are deterministic
+                heap
+            )
+            # a stale registration (the entry re-registered elsewhere or
+            # was already woken) no longer matches its heap tuple: skip
+            if entry.blocker == (j, threshold):
+                self._wake(entry)
+
+    def _assert_wakeup_complete(self) -> None:
+        """Debug mode: full re-scan proving the index missed nothing.
+
+        At a drain fixpoint the legacy re-scan would find no applicable
+        entry; if the wakeup index is correct, neither does this scan.
+        """
+        for p in self._pending_sm:
+            if self._sm_ready(p.src, p.message):
+                raise AssertionError(
+                    f"wakeup index missed a ready SM at site {self.site}: {p!r}"
+                )
+        for r in self._pending_rm:
+            if self._rm_ready(r.src, r.message):
+                raise AssertionError(
+                    f"wakeup index missed a ready RM at site {self.site}: {r!r}"
+                )
+        for f in self._pending_fm:
+            if self._fm_ready(f.message):  # type: ignore[arg-type]
+                raise AssertionError(
+                    f"wakeup index missed a ready FM at site {self.site}: {f!r}"
+                )
 
     # ------------------------------------------------------------------
     # machinery shared by all protocols
     # ------------------------------------------------------------------
     def _drain(self) -> None:
-        """Fixpoint application of buffered SMs and gated RMs.
+        """Apply every buffered message whose predicate has become true.
+
+        Indexed mode: only entries whose registered thresholds were
+        crossed (plus new arrivals) are re-tested; the pass structure —
+        SM sweep, RM sweep, FM sweep, repeated while progress — and the
+        within-sweep seq order replicate the legacy fixpoint re-scan
+        exactly (see ``_mark_dirty``).  Termination matches legacy: the
+        outer loop continues only on actual activations, and every wake
+        coincides with an activation in the same pass.  Guarded against
+        reentrancy: completions invoked here may issue new operations
+        synchronously.
+        """
+        if self._waiters is None:
+            self._drain_legacy()
+            return
+        if self._draining:
+            return
+        dirty = self._dirty
+        if dirty[0] or dirty[1] or dirty[2]:
+            self._draining = True
+            try:
+                progress = True
+                while progress:
+                    progress = False
+                    if dirty[0] and self._scan_sm():
+                        progress = True
+                    if dirty[1] and self._scan_rm():
+                        progress = True
+                    if dirty[2] and self._scan_fm():
+                        progress = True
+            finally:
+                self._draining = False
+        if _debug_wakeups:
+            self._assert_wakeup_complete()
+
+    def _scan_sm(self) -> bool:
+        """One SM sweep over the dirty set, in seq order."""
+        batch: list[_Pending] = self._dirty[0]
+        self._dirty[0] = []
+        batch.sort(key=_SEQ_KEY)
+        self._scan_kind = 0
+        self._scan_batch = batch
+        progress = False
+        ctx = self.ctx
+        tracer = ctx.tracer
+        pending = self._pending_sm
+        waiters = self._waiters
+        assert waiters is not None
+        idx = 0
+        try:
+            while idx < len(batch):
+                entry = batch[idx]
+                idx += 1
+                self._scan_pos = entry.seq
+                entry.dirty = False
+                if self._sm_ready(entry.src, entry.message):
+                    pending.remove(entry)
+                    delay = ctx.sim.now - entry.arrived
+                    if delay > 0:
+                        # only genuinely buffered updates count: an
+                        # immediately-applicable SM has no gating cost
+                        ctx.collector.record_activation_delay(delay)
+                    if tracer is None:
+                        self._apply_sm(entry.src, entry.message)
+                    else:
+                        # the activation event becomes the causal parent
+                        # of anything the apply triggers (e.g. a newly
+                        # unblocked fetch reply)
+                        tracer.sm_activate(self.site, entry.message,
+                                           ts=ctx.sim.now,
+                                           arrived=entry.arrived)
+                        try:
+                            self._apply_sm(entry.src, entry.message)
+                        finally:
+                            tracer.pop()
+                    progress = True
+                else:
+                    blocker = self._sm_blocker(entry.src, entry.message)
+                    if blocker is None:
+                        # no threshold known: fall back to every-pass
+                        # re-testing (the legacy behavior for this entry)
+                        entry.dirty = True
+                        self._dirty[0].append(entry)
+                    else:
+                        entry.blocker = blocker
+                        heappush(  # simcheck: ignore[SIM007] -- (threshold, seq) keys are unique, so pops are deterministic
+                            waiters[blocker[0]],
+                            (blocker[1], entry.seq, entry),
+                        )
+        finally:
+            self._scan_kind = -1
+            self._scan_pos = -1
+            self._scan_batch = []
+        return progress
+
+    def _scan_rm(self) -> bool:
+        """One RM sweep over the dirty set, in seq order."""
+        batch: list[_Pending] = self._dirty[1]
+        self._dirty[1] = []
+        batch.sort(key=_SEQ_KEY)
+        self._scan_kind = 1
+        self._scan_batch = batch
+        progress = False
+        ctx = self.ctx
+        tracer = ctx.tracer
+        pending = self._pending_rm
+        waiters = self._waiters
+        assert waiters is not None
+        idx = 0
+        try:
+            while idx < len(batch):
+                entry = batch[idx]
+                idx += 1
+                self._scan_pos = entry.seq
+                entry.dirty = False
+                if self._rm_ready(entry.src, entry.message):
+                    pending.remove(entry)
+                    if tracer is None:
+                        self._complete_rm(entry.src, entry.message)
+                    else:
+                        tracer.gated_resolved("rm.complete", self.site,
+                                              entry.message,
+                                              ts=ctx.sim.now,
+                                              arrived=entry.arrived)
+                        try:
+                            self._complete_rm(entry.src, entry.message)
+                        finally:
+                            tracer.pop()
+                    progress = True
+                else:
+                    blocker = self._rm_blocker(entry.src, entry.message)
+                    if blocker is None:
+                        entry.dirty = True
+                        self._dirty[1].append(entry)
+                    else:
+                        entry.blocker = blocker
+                        heappush(  # simcheck: ignore[SIM007] -- (threshold, seq) keys are unique, so pops are deterministic
+                            waiters[blocker[0]],
+                            (blocker[1], entry.seq, entry),
+                        )
+        finally:
+            self._scan_kind = -1
+            self._scan_pos = -1
+            self._scan_batch = []
+        return progress
+
+    def _scan_fm(self) -> bool:
+        """One FM sweep over the dirty set, in seq order."""
+        batch: list[_Pending] = self._dirty[2]
+        self._dirty[2] = []
+        batch.sort(key=_SEQ_KEY)
+        self._scan_kind = 2
+        self._scan_batch = batch
+        progress = False
+        ctx = self.ctx
+        tracer = ctx.tracer
+        pending = self._pending_fm
+        waiters = self._waiters
+        assert waiters is not None
+        idx = 0
+        try:
+            while idx < len(batch):
+                entry = batch[idx]
+                idx += 1
+                self._scan_pos = entry.seq
+                entry.dirty = False
+                message = entry.message
+                if self._fm_ready(message):  # type: ignore[arg-type]
+                    pending.remove(entry)
+                    if tracer is None:
+                        self._serve_fetch(entry.src, message)  # type: ignore[arg-type]
+                    else:
+                        tracer.gated_resolved("fm.serve", self.site,
+                                              message,
+                                              ts=ctx.sim.now,
+                                              arrived=entry.arrived)
+                        try:
+                            self._serve_fetch(entry.src, message)  # type: ignore[arg-type]
+                        finally:
+                            tracer.pop()
+                    progress = True
+                else:
+                    blocker = self._fm_blocker(message)  # type: ignore[arg-type]
+                    if blocker is None:
+                        entry.dirty = True
+                        self._dirty[2].append(entry)
+                    else:
+                        entry.blocker = blocker
+                        heappush(  # simcheck: ignore[SIM007] -- (threshold, seq) keys are unique, so pops are deterministic
+                            waiters[blocker[0]],
+                            (blocker[1], entry.seq, entry),
+                        )
+        finally:
+            self._scan_kind = -1
+            self._scan_pos = -1
+            self._scan_batch = []
+        return progress
+
+    def _drain_legacy(self) -> None:
+        """The historical fixpoint re-scan (reference implementation).
 
         Applying one update can unblock others (and unblock remote-read
         completions, which in turn never block further updates but may
         enlarge the local log), so iterate until a full pass makes no
-        progress.  Guarded against reentrancy: completions invoked here
-        may issue new operations synchronously.
+        progress.  Kept selectable so the equivalence property test can
+        compare whole-run traces against the indexed drain.
         """
         if self._draining:
             return
@@ -294,18 +686,18 @@ class CausalProtocol(abc.ABC):
                         i += 1
                 i = 0
                 while i < len(self._pending_rm):
-                    pending = self._pending_rm[i]
-                    if self._rm_ready(pending.src, pending.message):
+                    pending_rm = self._pending_rm[i]
+                    if self._rm_ready(pending_rm.src, pending_rm.message):
                         del self._pending_rm[i]
                         if tracer is None:
-                            self._complete_rm(pending.src, pending.message)
+                            self._complete_rm(pending_rm.src, pending_rm.message)
                         else:
                             tracer.gated_resolved("rm.complete", self.site,
-                                                  pending.message,
+                                                  pending_rm.message,
                                                   ts=self.ctx.sim.now,
-                                                  arrived=pending.arrived)
+                                                  arrived=pending_rm.arrived)
                             try:
-                                self._complete_rm(pending.src, pending.message)
+                                self._complete_rm(pending_rm.src, pending_rm.message)
                             finally:
                                 tracer.pop()
                         progress = True
@@ -313,18 +705,18 @@ class CausalProtocol(abc.ABC):
                         i += 1
                 i = 0
                 while i < len(self._pending_fm):
-                    pending = self._pending_fm[i]
-                    if self._fm_ready(pending.message):
+                    pending_fm = self._pending_fm[i]
+                    if self._fm_ready(pending_fm.message):  # type: ignore[arg-type]
                         del self._pending_fm[i]
                         if tracer is None:
-                            self._serve_fetch(pending.src, pending.message)
+                            self._serve_fetch(pending_fm.src, pending_fm.message)  # type: ignore[arg-type]
                         else:
                             tracer.gated_resolved("fm.serve", self.site,
-                                                  pending.message,
+                                                  pending_fm.message,
                                                   ts=self.ctx.sim.now,
-                                                  arrived=pending.arrived)
+                                                  arrived=pending_fm.arrived)
                             try:
-                                self._serve_fetch(pending.src, pending.message)
+                                self._serve_fetch(pending_fm.src, pending_fm.message)  # type: ignore[arg-type]
                             finally:
                                 tracer.pop()
                         progress = True
@@ -347,10 +739,12 @@ class CausalProtocol(abc.ABC):
             self.ctx.tracer.msg_send(self.site, dst, message,
                                      ts=self.ctx.sim.now,
                                      kind=kind.value, size=size)
-        self.ctx.history.record_send(
-            time=self.ctx.sim.now, site=self.site, peer=dst,
-            detail=type(message).__name__,
-        )
+        history = self.ctx.history
+        if history.enabled:  # skip the kwargs + __name__ cost when off
+            history.record_send(
+                time=self.ctx.sim.now, site=self.site, peer=dst,
+                detail=type(message).__name__,
+            )
         self.ctx.network.send(self.site, dst, message, size_bytes=size)
 
     def _multicast(
@@ -387,6 +781,28 @@ class CausalProtocol(abc.ABC):
         """
         applied = self.applied  # type: ignore[attr-defined]
         return all(applied[j] >= c for j, c in message.requirements)
+
+    def _fm_blocker(self, message: FetchMessage) -> Optional[tuple[int, int]]:
+        """First unsatisfied requirement of a false ``_fm_ready``."""
+        applied = self.applied  # type: ignore[attr-defined]
+        for j, c in message.requirements:
+            if applied[j] < c:
+                return (j, c)
+        return None
+
+    def _sm_blocker(self, src: int, message: object) -> Optional[tuple[int, int]]:
+        """First ``(writer, threshold)`` a false ``_sm_ready`` waits on.
+
+        Contract: when ``_sm_ready`` is false, return a pair such that
+        ``applied[writer] < threshold`` and the predicate cannot become
+        true before ``applied[writer] >= threshold``.  ``None`` opts the
+        entry into every-pass re-testing (always correct, never faster).
+        """
+        return None
+
+    def _rm_blocker(self, src: int, message: object) -> Optional[tuple[int, int]]:
+        """Same contract as :meth:`_sm_blocker`, for the RM gate."""
+        return None
 
     def _complete_fetch(
         self, request_id: int, value: object, write_id: Optional[WriteId]
@@ -466,10 +882,43 @@ class CausalProtocol(abc.ABC):
         }
 
     def restore(self, state: dict) -> None:
-        """Overwrite volatile state from a :meth:`snapshot` blob."""
-        self._pending_sm = [_PendingSM(s, m, t) for s, m, t in state["pending_sm"]]
-        self._pending_rm = [_PendingRM(s, m, t) for s, m, t in state["pending_rm"]]
-        self._pending_fm = [_PendingFM(s, m, t) for s, m, t in state["pending_fm"]]
+        """Overwrite volatile state from a :meth:`snapshot` blob.
+
+        Every rebuilt pending entry is marked dirty and the wakeup index
+        is cleared: the restored ``applied`` array says nothing about
+        which registrations were live at capture time, so the next drain
+        re-tests everything once and re-registers the survivors.
+        """
+        self._pending_sm = []
+        self._pending_rm = []
+        self._pending_fm = []
+        for s, m, t in state["pending_sm"]:
+            sm = _PendingSM(s, m, t, self._arrival_seq)
+            self._arrival_seq += 1
+            self._pending_sm.append(sm)
+        for s, m, t in state["pending_rm"]:
+            rm = _PendingRM(s, m, t, self._arrival_seq)
+            self._arrival_seq += 1
+            self._pending_rm.append(rm)
+        for s, m, t in state["pending_fm"]:
+            fm = _PendingFM(s, m, t, self._arrival_seq)
+            self._arrival_seq += 1
+            self._pending_fm.append(fm)
+        if len(self._pending_sm) > self.pending_sm_peak:
+            self.pending_sm_peak = len(self._pending_sm)
+        if self._waiters is not None:
+            self._waiters = [[] for _ in range(self.n)]
+            self._dirty = [
+                list(self._pending_sm),
+                list(self._pending_rm),
+                list(self._pending_fm),
+            ]
+            for lst in self._dirty:
+                for entry in lst:
+                    entry.dirty = True
+        self._scan_kind = -1
+        self._scan_pos = -1
+        self._scan_batch = []
         self._next_request_id = state["next_request_id"]
         self._fetches.clear()
         self._draining = False

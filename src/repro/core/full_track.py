@@ -25,11 +25,14 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from ..memory.store import WriteId
 from ..metrics.collector import MessageKind
-from .activation import full_track_rm_ready, full_track_sm_ready
+from .activation import (
+    full_track_rm_blocker,
+    full_track_rm_ready,
+    full_track_sm_blocker,
+    full_track_sm_ready,
+)
 from .base import CausalProtocol, ProtocolContext, register_protocol
 from .clocks import MatrixClock
 from .messages import FetchMessage, FullTrackRM, FullTrackSM
@@ -47,7 +50,9 @@ class FullTrackProtocol(CausalProtocol):
     def __init__(self, ctx: ProtocolContext) -> None:
         super().__init__(ctx)
         self.write_clock = MatrixClock(self.n)
-        self.applied = np.zeros(self.n, dtype=np.int64)
+        # plain list: the activation hot path reads scalars, and Python
+        # ints index ~2x faster than NumPy scalars (docs/architecture.md)
+        self.applied: list[int] = [0] * self.n
         self._write_count = 0
         # var -> (write id, Write matrix at write time); matrices stored
         # here are shared snapshots and must never be mutated.
@@ -109,6 +114,12 @@ class FullTrackProtocol(CausalProtocol):
             message.matrix, message.write_id.site, self.site, self.applied
         )
 
+    def _sm_blocker(self, src: int, message: object) -> Optional[tuple[int, int]]:
+        assert isinstance(message, FullTrackSM)
+        return full_track_sm_blocker(
+            message.matrix, message.write_id.site, self.site, self.applied
+        )
+
     def _apply_sm(self, src: int, message: object) -> None:
         assert isinstance(message, FullTrackSM)
         self.ctx.collector.record_visibility(self.ctx.sim.now - message.issued_at)
@@ -120,8 +131,10 @@ class FullTrackProtocol(CausalProtocol):
         ctx = self.ctx
         ctx.store.apply(var, value, wid, ctx.sim.now)
         self.applied[wid.site] += 1
+        self._note_applied(wid.site)
         self.last_write_on[var] = (wid, matrix)
-        ctx.history.record_apply(time=ctx.sim.now, site=self.site, var=var, write_id=wid)
+        if ctx.history.enabled:
+            ctx.history.record_apply(time=ctx.sim.now, site=self.site, var=var, write_id=wid)
 
     def _serve_fetch(self, src: int, message: FetchMessage) -> None:
         slot = self.ctx.store.read(message.var)
@@ -146,6 +159,10 @@ class FullTrackProtocol(CausalProtocol):
         assert isinstance(message, FullTrackRM)
         return full_track_rm_ready(message.matrix, self.site, self.applied)
 
+    def _rm_blocker(self, src: int, message: object) -> Optional[tuple[int, int]]:
+        assert isinstance(message, FullTrackRM)
+        return full_track_rm_blocker(message.matrix, self.site, self.applied)
+
     def _complete_rm(self, src: int, message: object) -> None:
         assert isinstance(message, FullTrackRM)
         self.write_clock.merge(message.matrix)
@@ -160,14 +177,15 @@ class FullTrackProtocol(CausalProtocol):
         # on both capture and restore (a checkpoint may be restored twice)
         return {
             "write_clock": self.write_clock.copy(),
-            "applied": self.applied.copy(),
+            "applied": list(self.applied),
             "write_count": self._write_count,
             "last_write_on": dict(self.last_write_on),
         }
 
     def _restore_extra(self, extra: dict) -> None:
         self.write_clock = extra["write_clock"].copy()
-        self.applied = extra["applied"].copy()
+        # list(...) also normalizes NumPy arrays from pre-refactor blobs
+        self.applied = [int(c) for c in extra["applied"]]
         self._write_count = extra["write_count"]
         self.last_write_on = dict(extra["last_write_on"])
 

@@ -25,11 +25,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from ..memory.store import WriteId
 from ..metrics.collector import MessageKind
-from .activation import optp_sm_ready
+from .activation import optp_sm_blocker, optp_sm_ready
 from .base import CausalProtocol, ProtocolContext, register_protocol
 from .clocks import VectorClock
 from .messages import FetchMessage, OptPSM
@@ -47,7 +45,9 @@ class HBTrackProtocol(CausalProtocol):
     def __init__(self, ctx: ProtocolContext) -> None:
         super().__init__(ctx)
         self.write_clock = VectorClock(self.n)
-        self.applied = np.zeros(self.n, dtype=np.int64)
+        # plain list: the activation hot path reads scalars, and Python
+        # ints index ~2x faster than NumPy scalars (docs/architecture.md)
+        self.applied: list[int] = [0] * self.n
         self.last_write_on: dict[int, WriteId] = {}
 
     # ------------------------------------------------------------------
@@ -96,6 +96,10 @@ class HBTrackProtocol(CausalProtocol):
         assert isinstance(message, OptPSM)
         return optp_sm_ready(message.write_id.site, message.vector, self.applied)
 
+    def _sm_blocker(self, src: int, message: object) -> Optional[tuple[int, int]]:
+        assert isinstance(message, OptPSM)
+        return optp_sm_blocker(message.write_id.site, message.vector, self.applied)
+
     def _apply_sm(self, src: int, message: object) -> None:
         assert isinstance(message, OptPSM)
         self.ctx.collector.record_visibility(self.ctx.sim.now - message.issued_at)
@@ -112,12 +116,14 @@ class HBTrackProtocol(CausalProtocol):
                 f"activation violated FIFO: {wid} after count {self.applied[wid.site]}"
             )
         self.applied[wid.site] = wid.clock
+        self._note_applied(wid.site)
         self.last_write_on[var] = wid
         # merge-on-receipt: THE defining difference — every applied
         # update becomes a dependency of all future local writes,
         # whether or not its value is ever read (false causality)
         self.write_clock.merge(vector)
-        ctx.history.record_apply(time=ctx.sim.now, site=self.site, var=var, write_id=wid)
+        if ctx.history.enabled:
+            ctx.history.record_apply(time=ctx.sim.now, site=self.site, var=var, write_id=wid)
 
     # ------------------------------------------------------------------
     # crash-recovery hooks
@@ -125,13 +131,14 @@ class HBTrackProtocol(CausalProtocol):
     def _snapshot_extra(self) -> dict:
         return {
             "write_clock": self.write_clock.copy(),
-            "applied": self.applied.copy(),
+            "applied": list(self.applied),
             "last_write_on": dict(self.last_write_on),
         }
 
     def _restore_extra(self, extra: dict) -> None:
         self.write_clock = extra["write_clock"].copy()
-        self.applied = extra["applied"].copy()
+        # list(...) also normalizes NumPy arrays from pre-refactor blobs
+        self.applied = [int(c) for c in extra["applied"]]
         self.last_write_on = dict(extra["last_write_on"])
 
     def knows_write(self, wid: WriteId) -> Optional[bool]:

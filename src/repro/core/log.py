@@ -48,9 +48,19 @@ class PiggybackEntry:
 
 
 class OptTrackLog:
-    """The KS-style local log of a site running Opt-Track."""
+    """The KS-style local log of a site running Opt-Track.
 
-    __slots__ = ("_entries", "_emptied")
+    Pruning bookkeeping is incremental: the newest clock per writer and
+    the set of present-but-empty records are maintained at mutation time
+    (each mutation can only *shrink* a destination set, so emptiness is
+    detected exactly where it happens), which turns PURGE from two full
+    log scans into a dict walk plus an O(#empty) candidate check — the
+    log is mutated on every write and every merge-on-read, so this is
+    squarely on the hot path (docs/architecture.md).
+    """
+
+    __slots__ = ("_entries", "_emptied", "_newest", "_empty_keys", "_sorted",
+                 "_frozen")
 
     def __init__(self, entries: Optional[Iterable[PiggybackEntry]] = None) -> None:
         # (writer, clock) -> mutable destination set
@@ -65,9 +75,34 @@ class OptTrackLog:
         # is semantically the kept ∅-record, stored compactly, never
         # shipped, and not counted in the log size.
         self._emptied: set[tuple[int, int]] = set()
+        # highest clock per writer among present records; invariant:
+        # (j, _newest[j]) is always itself present (a record is only
+        # deleted when a strictly newer record from its writer exists)
+        self._newest: dict[int, int] = {}
+        # present records whose destination set is empty — purge
+        # candidates.  A dict (not a set) so iteration order is the
+        # deterministic order emptiness was discovered in.
+        self._empty_keys: dict[tuple[int, int], None] = {}
+        # cached sorted (key, destination-set) pairs; None = invalidated
+        # by a key change.  Pairs, not keys: iteration sites dominate the
+        # multicast hot path and the pair saves a dict lookup per record
+        # (the sets are aliases, so in-place dest mutations stay visible)
+        self._sorted: Optional[list[tuple[tuple[int, int], set[int]]]] = None
+        # interned frozen view per record, dropped whenever that record's
+        # destination set shrinks — most records are untouched between
+        # multicasts, so piggyback views and snapshots share one
+        # PiggybackEntry per record instead of re-freezing each time
+        self._frozen: dict[tuple[int, int], PiggybackEntry] = {}
         if entries is not None:
             for e in entries:
                 self.insert(e.writer, e.clock, e.dests)
+
+    def _sorted_items(self) -> list[tuple[tuple[int, int], set[int]]]:
+        items = self._sorted
+        if items is None:
+            entries = self._entries
+            items = self._sorted = [(k, entries[k]) for k in sorted(entries)]
+        return items
 
     # ------------------------------------------------------------------
     # basic container protocol
@@ -84,8 +119,20 @@ class OptTrackLog:
 
     def entries(self) -> Iterator[PiggybackEntry]:
         """Iterate records in deterministic (writer, clock) order."""
-        for (j, c) in sorted(self._entries):
-            yield PiggybackEntry(j, c, frozenset(self._entries[(j, c)]))
+        frozen = self._frozen
+        for key, rec in self._sorted_items():
+            e = frozen.get(key)
+            if e is None:
+                e = frozen[key] = PiggybackEntry(key[0], key[1], frozenset(rec))
+            yield e
+
+    def requirements_for(self, target: int) -> tuple[tuple[int, int], ...]:
+        """``(writer, clock)`` of every record still naming ``target``,
+        in deterministic order — the fetch-requirement hot path, spared
+        the frozenset-per-record cost of :meth:`entries`."""
+        return tuple(
+            key for key, rec in self._sorted_items() if target in rec
+        )
 
     def dest_counts(self) -> list[int]:
         """Destination-list length per record (feeds the size model)."""
@@ -93,8 +140,7 @@ class OptTrackLog:
 
     def max_clock(self, writer: int) -> int:
         """Highest clock recorded for ``writer`` (0 when none)."""
-        clocks = [c for (j, c) in self._entries if j == writer]
-        return max(clocks, default=0)
+        return self._newest.get(writer, 0)
 
     # ------------------------------------------------------------------
     # mutation
@@ -109,10 +155,23 @@ class OptTrackLog:
         key = (writer, clock)
         if key in self._emptied:
             return  # intersection with the remembered ∅-record
-        if key in self._entries:
-            self._entries[key] &= set(dests)
+        rec = self._entries.get(key)
+        if rec is not None:
+            if rec:
+                before = len(rec)
+                rec.intersection_update(dests)
+                if len(rec) != before:
+                    self._frozen.pop(key, None)
+                    if not rec:
+                        self._empty_keys[key] = None
         else:
-            self._entries[key] = set(dests)
+            rec = set(dests)
+            self._entries[key] = rec
+            self._sorted = None
+            if clock > self._newest.get(writer, 0):
+                self._newest[writer] = clock
+            if not rec:
+                self._empty_keys[key] = None
 
     def remove_dests(self, dests: Iterable[int]) -> None:
         """Implicit condition 2 at multicast time: strip the new write's
@@ -120,8 +179,14 @@ class OptTrackLog:
         ds = set(dests)
         if not ds:
             return
-        for rec in self._entries.values():
-            rec -= ds
+        empty = self._empty_keys
+        frozen = self._frozen
+        for key, rec in self._entries.items():
+            if rec and not ds.isdisjoint(rec):
+                rec -= ds
+                frozen.pop(key, None)
+                if not rec:
+                    empty[key] = None
 
     def purge(self, *, self_site: Optional[int] = None,
               applied: Optional[Mapping[int, int] | Sequence[int]] = None) -> None:
@@ -135,22 +200,24 @@ class OptTrackLog:
           when empty (it is the implicit information the paper insists
           must be retained under partial replication).
         """
+        empty = self._empty_keys
         if self_site is not None and applied is not None:
-            for (j, c), rec in self._entries.items():
-                if self_site in rec and applied[j] >= c:
+            frozen = self._frozen
+            for key, rec in self._entries.items():
+                if self_site in rec and applied[key[0]] >= key[1]:
                     rec.discard(self_site)
-        newest: dict[int, int] = {}
-        for (j, c) in self._entries:
-            if c > newest.get(j, 0):
-                newest[j] = c
-        stale = [
-            key
-            for key, rec in self._entries.items()
-            if not rec and newest[key[0]] > key[1]
-        ]
-        for key in stale:
-            del self._entries[key]
-            self._emptied.add(key)
+                    frozen.pop(key, None)
+                    if not rec:
+                        empty[key] = None
+        if empty:
+            newest = self._newest
+            stale = [key for key in empty if newest[key[0]] > key[1]]
+            for key in stale:
+                del self._entries[key]
+                del empty[key]
+                self._frozen.pop(key, None)
+                self._emptied.add(key)
+                self._sorted = None
 
     # ------------------------------------------------------------------
     # protocol operations
@@ -180,23 +247,32 @@ class OptTrackLog:
         fully-stripped view — also exactly the log to store alongside a
         local apply.
         """
-        newest: dict[int, int] = {}
-        for (j, c) in self._entries:
-            if c > newest.get(j, 0):
-                newest[j] = c
+        newest = self._newest
+        frozen = self._frozen
         stripped: list[PiggybackEntry] = []
+        append = stripped.append
         dest_order = sorted(write_dests)
         containing: dict[int, list] = {d: [] for d in dest_order}
-        for (j, c) in sorted(self._entries):
-            rec = self._entries[(j, c)]
+        for key, rec in self._sorted_items():
+            if write_dests.isdisjoint(rec):
+                # common case: record untouched by the stripping — ship
+                # the interned frozen view, nothing to patch per dest
+                e = frozen.get(key)
+                if e is None:
+                    e = frozen[key] = PiggybackEntry(
+                        key[0], key[1], frozenset(rec)
+                    )
+                append(e)
+                continue
+            j, c = key
             kept = rec - write_dests
             if not kept and newest[j] != c:
                 # dead unless some destination in write_dests still needs
                 # it — those copies are patched in per destination below
                 for d in sorted(rec):  # rec == rec & write_dests here
-                    containing[d].append((j, c))
+                    containing[d].append(key)
                 continue
-            stripped.append(PiggybackEntry(j, c, frozenset(kept)))
+            append(PiggybackEntry(j, c, frozenset(kept)))
             for d in sorted(rec & write_dests):
                 containing[d].append(len(stripped) - 1)
         base = tuple(stripped)
@@ -206,16 +282,22 @@ class OptTrackLog:
             if not marks:
                 views[d] = base  # shared: d appears in no record
                 continue
-            lst = list(base)
-            appended = []
+            lst: Optional[list[PiggybackEntry]] = None
+            appended: list[PiggybackEntry] = []
             for m in marks:
                 if isinstance(m, int):  # shipped record: re-add d to it
+                    if lst is None:
+                        lst = list(base)
                     e = lst[m]
                     lst[m] = PiggybackEntry(e.writer, e.clock, e.dests | {d})
                 else:  # omitted record: only d still needs it
                     appended.append(PiggybackEntry(m[0], m[1], frozenset((d,))))
-            lst.extend(appended)
-            views[d] = tuple(lst)
+            if lst is None:
+                # dead-record marks only append — concat, no base copy
+                views[d] = base + tuple(appended)
+            else:
+                lst.extend(appended)
+                views[d] = tuple(lst)
         return views, base
 
     def piggyback_for(
@@ -249,8 +331,35 @@ class OptTrackLog:
         that travelled with the value join the reader's causal past
         (this is where the ->co tracking happens — *not* at receipt).
         """
+        # inlined insert(): merge runs once per read return with tens of
+        # records, so the per-record method dispatch is worth hoisting
+        emptied = self._emptied
+        entries = self._entries
+        newest = self._newest
+        empty = self._empty_keys
+        frozen = self._frozen
         for e in incoming:
-            self.insert(e.writer, e.clock, e.dests)
+            writer = e.writer
+            clock = e.clock
+            key = (writer, clock)
+            if key in emptied:
+                continue
+            rec = entries.get(key)
+            if rec is not None:
+                if rec:
+                    before = len(rec)
+                    rec.intersection_update(e.dests)
+                    if len(rec) != before:
+                        frozen.pop(key, None)
+                        if not rec:
+                            empty[key] = None
+            else:
+                entries[key] = rec = set(e.dests)
+                self._sorted = None
+                if clock > newest.get(writer, 0):
+                    newest[writer] = clock
+                if not rec:
+                    empty[key] = None
         self.purge(self_site=self_site, applied=applied)
 
     def snapshot(self) -> tuple[PiggybackEntry, ...]:
@@ -267,6 +376,9 @@ class OptTrackLog:
         new = OptTrackLog()
         new._entries = {key: set(dests) for key, dests in self._entries.items()}
         new._emptied = set(self._emptied)
+        new._newest = dict(self._newest)
+        new._empty_keys = dict(self._empty_keys)
+        new._frozen = dict(self._frozen)  # immutable values; still valid
         return new
 
     def __repr__(self) -> str:

@@ -118,7 +118,9 @@ class OptTrackSM:
     issued_at: float = 0.0
 
     def metadata_size(self, model: SizeModel) -> int:
-        total_dests = sum(len(e.dests) for e in self.log)
+        total_dests = 0
+        for e in self.log:  # explicit loop: sized on every send (hot)
+            total_dests += len(e.dests)
         return (
             model.envelope_opt_track + model.var_id + model.value
             + model.site_id + model.clock
@@ -141,7 +143,9 @@ class OptTrackRM:
     request_id: int
 
     def metadata_size(self, model: SizeModel) -> int:
-        total_dests = sum(len(e.dests) for e in self.log)
+        total_dests = 0
+        for e in self.log:  # explicit loop: sized on every send (hot)
+            total_dests += len(e.dests)
         return (
             model.envelope_opt_track + model.value
             + model.site_id + model.clock

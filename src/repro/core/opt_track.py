@@ -31,11 +31,9 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-import numpy as np
-
 from ..memory.store import WriteId
 from ..metrics.collector import MessageKind
-from .activation import opt_track_entries_ready
+from .activation import opt_track_entries_blocker, opt_track_entries_ready
 from .base import CausalProtocol, ProtocolContext, register_protocol
 from .log import OptTrackLog, PiggybackEntry
 from .messages import FetchMessage, OptTrackRM, OptTrackSM
@@ -56,12 +54,18 @@ class OptTrackProtocol(CausalProtocol):
     def __init__(self, ctx: ProtocolContext) -> None:
         super().__init__(ctx)
         self.clock = 0
-        self.applied = np.zeros(self.n, dtype=np.int64)
+        # plain list: the activation hot path reads scalars, and Python
+        # ints index ~2x faster than NumPy scalars (docs/architecture.md)
+        self.applied: list[int] = [0] * self.n
         self.log = OptTrackLog()
         # var -> (write id, write's remaining dests, piggybacked log)
         self.last_write_on: dict[
             int, tuple[WriteId, frozenset[int], tuple[PiggybackEntry, ...]]
         ] = {}
+        # hot-path set constants and the (var, writer) -> dests-minus-
+        # writer memo used on every SM apply
+        self._me_set = frozenset((self.site,))
+        self._apply_dests: dict[tuple[int, int], frozenset[int]] = {}
 
     # ------------------------------------------------------------------
     # application subsystem
@@ -70,7 +74,7 @@ class OptTrackProtocol(CausalProtocol):
         self, var: int, value: object, *, op_index: Optional[int] = None
     ) -> WriteId:
         ctx = self.ctx
-        dests = frozenset(ctx.placement.replicas(var))
+        dests = ctx.placement.replica_set(var)
         self.clock += 1
         wid = WriteId(self.site, self.clock)
 
@@ -104,18 +108,18 @@ class OptTrackProtocol(CausalProtocol):
                 return OptTrackSM(var=var, value=value, write_id=wid,
                                   log=snapshot, issued_at=ctx.sim.now)
 
-        self._multicast(sorted(dests), make_sm, MessageKind.SM)
+        # placement.replicas() is exactly sorted(dests), pre-sorted
+        self._multicast(ctx.placement.replicas(var), make_sm, MessageKind.SM)
 
         # Local log update: strip the new write's destinations from every
         # record (condition 2), add the record for the new write itself
         # (excluding self: applying locally is immediate), then purge.
         if self.prune_on_send:
             self.log.remove_dests(dests)
-        self.log.insert(self.site, self.clock, dests - {self.site})
+        self.log.insert(self.site, self.clock, dests - self._me_set)
         self.log.purge(self_site=self.site, applied=self.applied)
         ctx.collector.record_log_size(len(self.log))
-        for c in self.log.dest_counts():
-            ctx.collector.record_dest_list(c)
+        ctx.collector.record_dest_lists(self.log.dest_counts())
 
         if self.site in dests:
             self._apply_value(var, value, wid, dests, stored_log)
@@ -150,9 +154,7 @@ class OptTrackProtocol(CausalProtocol):
         log records still naming it (including, always, this site's own
         latest write multicast to it — its record keeps ``target`` until
         a later own write to ``target`` supersedes it transitively)."""
-        return tuple(
-            (e.writer, e.clock) for e in self.log.entries() if target in e.dests
-        )
+        return self.log.requirements_for(target)
 
     # ------------------------------------------------------------------
     # message receipt subsystem
@@ -164,6 +166,10 @@ class OptTrackProtocol(CausalProtocol):
         assert isinstance(message, OptTrackSM)
         return opt_track_entries_ready(message.log, self.site, self.applied)
 
+    def _sm_blocker(self, src: int, message: object) -> Optional[tuple[int, int]]:
+        assert isinstance(message, OptTrackSM)
+        return opt_track_entries_blocker(message.log, self.site, self.applied)
+
     def _apply_sm(self, src: int, message: object) -> None:
         assert isinstance(message, OptTrackSM)
         self.ctx.collector.record_visibility(self.ctx.sim.now - message.issued_at)
@@ -171,20 +177,26 @@ class OptTrackProtocol(CausalProtocol):
         # The write's remaining destinations exclude the writer: if it
         # replicates the variable it applied its own write at the write
         # event, causally before this receipt (condition 1 holds there).
-        dests = frozenset(self.ctx.placement.replicas(message.var)) - {wid.site}
+        dkey = (message.var, wid.site)
+        dests = self._apply_dests.get(dkey)
+        if dests is None:
+            dests = self._apply_dests[dkey] = (
+                self.ctx.placement.replica_set(message.var) - {wid.site}
+            )
         # Implicit condition 1: "this site is a destination" is dead
         # information from this apply onward — strip self before storing.
         # Only records naming this site need rebuilding; the rest of the
         # (immutable) piggybacked log is shared as-is.
         me = self.site
-        if any(me in e.dests for e in message.log):
-            stored = tuple(
-                PiggybackEntry(e.writer, e.clock, e.dests - {me})
-                if me in e.dests else e
-                for e in message.log
-            )
-        else:
-            stored = message.log
+        me_s = {me}
+        log = message.log
+        rebuilt: Optional[list[PiggybackEntry]] = None
+        for i, e in enumerate(log):
+            if me in e.dests:
+                if rebuilt is None:
+                    rebuilt = list(log)
+                rebuilt[i] = PiggybackEntry(e.writer, e.clock, e.dests - me_s)
+        stored = log if rebuilt is None else tuple(rebuilt)
         self._apply_value(message.var, message.value, wid, dests, stored)
 
     def _apply_value(
@@ -202,8 +214,10 @@ class OptTrackProtocol(CausalProtocol):
                 f"FIFO violation: applying {wid} after clock {self.applied[wid.site]}"
             )
         self.applied[wid.site] = wid.clock
-        self.last_write_on[var] = (wid, dests - {self.site}, stored_log)
-        ctx.history.record_apply(time=ctx.sim.now, site=self.site, var=var, write_id=wid)
+        self._note_applied(wid.site)
+        self.last_write_on[var] = (wid, dests - self._me_set, stored_log)
+        if ctx.history.enabled:
+            ctx.history.record_apply(time=ctx.sim.now, site=self.site, var=var, write_id=wid)
 
     def _serve_fetch(self, src: int, message: FetchMessage) -> None:
         slot = self.ctx.store.read(message.var)
@@ -232,6 +246,10 @@ class OptTrackProtocol(CausalProtocol):
         assert isinstance(message, OptTrackRM)
         return opt_track_entries_ready(message.log, self.site, self.applied)
 
+    def _rm_blocker(self, src: int, message: object) -> Optional[tuple[int, int]]:
+        assert isinstance(message, OptTrackRM)
+        return opt_track_entries_blocker(message.log, self.site, self.applied)
+
     def _complete_rm(self, src: int, message: object) -> None:
         assert isinstance(message, OptTrackRM)
         self.log.merge(message.log, self_site=self.site, applied=self.applied)
@@ -243,14 +261,15 @@ class OptTrackProtocol(CausalProtocol):
     def _snapshot_extra(self) -> dict:
         return {
             "clock": self.clock,
-            "applied": self.applied.copy(),
+            "applied": list(self.applied),
             "log": self.log.copy(),
             "last_write_on": dict(self.last_write_on),
         }
 
     def _restore_extra(self, extra: dict) -> None:
         self.clock = extra["clock"]
-        self.applied = extra["applied"].copy()
+        # list(...) also normalizes NumPy arrays from pre-refactor blobs
+        self.applied = [int(c) for c in extra["applied"]]
         self.log = extra["log"].copy()
         self.last_write_on = dict(extra["last_write_on"])
 

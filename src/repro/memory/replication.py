@@ -68,6 +68,9 @@ class Placement(abc.ABC):
             tuple(v for v in range(n_vars) if s in self._replicas[v])
             for s in range(n_sites)
         ]
+        self._replica_sets: list[frozenset[int]] = [
+            frozenset(reps) for reps in self._replicas
+        ]
 
     @abc.abstractmethod
     def _compute_replicas(self, var: int) -> Iterable[int]:
@@ -77,6 +80,15 @@ class Placement(abc.ABC):
     def replicas(self, var: int) -> tuple[int, ...]:
         """Sites replicating ``var`` (sorted, length = replication factor)."""
         return self._replicas[var]
+
+    def replica_set(self, var: int) -> frozenset[int]:
+        """Replica sites of ``var`` as an interned frozenset.
+
+        The write/apply hot paths consume destination *sets*; sharing one
+        frozenset per variable avoids re-freezing the same tuple on
+        every write and every SM apply.
+        """
+        return self._replica_sets[var]
 
     def vars_at(self, site: int) -> tuple[int, ...]:
         """Variables locally replicated at ``site`` (the paper's X_i)."""

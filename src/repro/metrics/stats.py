@@ -19,7 +19,7 @@ RESERVOIR_CAPACITY = 1024
 _RESERVOIR_SEED = 0x5EED
 
 
-@dataclass
+@dataclass(slots=True)
 class RunningStat:
     """Streaming count/mean/variance/min/max (Welford's algorithm).
 
@@ -61,6 +61,60 @@ class RunningStat:
     def extend(self, xs: Iterable[float]) -> None:
         for x in xs:
             self.add(x)
+
+    def add_many(self, xs: Iterable[float]) -> None:
+        """Batched :meth:`add` for hot callers (per-record log metrics).
+
+        State evolution is operation-for-operation identical to repeated
+        ``add`` calls — same arithmetic order, same reservoir RNG draws —
+        so results stay byte-identical; only the per-sample attribute
+        traffic is hoisted out of the loop.  The reservoir index draw
+        inlines ``Random._randbelow_with_getrandbits`` (rejection-sample
+        ``bit_length(count)`` bits until below ``count``) on the same
+        ``Random`` instance, so the underlying getrandbits stream — and
+        with it every reservoir — is unchanged.
+        """
+        count = self.count
+        total = self.total
+        mean = self.mean
+        m2 = self._m2
+        minimum = self.minimum
+        maximum = self.maximum
+        reservoir = self._reservoir
+        size = len(reservoir)
+        sampler = self._sampler
+        getrandbits = None if sampler is None else sampler.getrandbits
+        append = reservoir.append
+        for x in xs:
+            count += 1
+            total += x
+            delta = x - mean
+            mean += delta / count
+            m2 += delta * (x - mean)
+            if x < minimum:
+                minimum = x
+            if x > maximum:
+                maximum = x
+            if size < RESERVOIR_CAPACITY:
+                append(x)
+                size += 1
+            else:
+                if getrandbits is None:
+                    sampler = random.Random(_RESERVOIR_SEED)
+                    getrandbits = sampler.getrandbits
+                k = count.bit_length()
+                j = getrandbits(k)
+                while j >= count:
+                    j = getrandbits(k)
+                if j < RESERVOIR_CAPACITY:
+                    reservoir[j] = x
+        self.count = count
+        self.total = total
+        self.mean = mean
+        self._m2 = m2
+        self.minimum = minimum
+        self.maximum = maximum
+        self._sampler = sampler
 
     @property
     def variance(self) -> float:

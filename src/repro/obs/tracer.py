@@ -91,9 +91,13 @@ class Trace:
         return [ev for ev in self.events if ev.kind == kind]
 
 
-@dataclass
+@dataclass(slots=True)
 class _MsgState:
-    """Correlation state for one in-flight message copy (src -> dst)."""
+    """Correlation state for one in-flight message copy (src -> dst).
+
+    Slotted: one per traced message copy, created on every send under
+    tracing — no per-instance ``__dict__``.
+    """
 
     payload: object  # strong ref: pins id(payload) for the run
     send_id: int

@@ -1,0 +1,38 @@
+"""Performance regression harness for the simulator's hot paths.
+
+The paper's headline claim is about *metadata overhead*; this package
+guards the reproduction's own overhead — the wall-clock cost of the
+event kernel, the activation machinery, and the Opt-Track log — so that
+the hot-path trajectory stays visible PR over PR.
+
+Two benchmark tiers:
+
+* **micro** (:mod:`repro.perf.micro`) — timing loops over the hot data
+  structures (the same reference configuration as
+  ``benchmarks/bench_micro_structures.py``: n = 40, 80-record logs) plus
+  the event kernel's raw dispatch throughput;
+* **macro** (:mod:`repro.perf.macro`) — whole seeded simulation runs per
+  protocol (the 10-site Opt-Track run is the reference), reporting
+  events/sec, deliveries/sec, and peak buffered SMs.
+
+Results accumulate in ``BENCH_hotpath.json`` at the repo root: every
+entry is one labelled measurement (both ``full`` and ``quick`` modes),
+so future PRs can ``--compare`` a fresh run against the committed
+trajectory and fail CI on a regression::
+
+    python -m repro.perf                         # run + print the full suite
+    python -m repro.perf --record "my change"    # append to BENCH_hotpath.json
+    python -m repro.perf --quick --compare BENCH_hotpath.json   # CI gate
+
+Wall-clock reads live here by design — this package *is* the benchmark
+harness; simulation code must keep using ``Simulator.now`` (SIM001
+exempts ``repro/perf/`` the same way it exempts ``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+from .cli import main
+from .macro import MACRO_CONFIGS, run_macro
+from .micro import MICRO_BENCHES, run_micro
+
+__all__ = ["main", "run_micro", "run_macro", "MICRO_BENCHES", "MACRO_CONFIGS"]

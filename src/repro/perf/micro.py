@@ -1,0 +1,222 @@
+"""Micro benchmarks of the hot data structures and the event kernel.
+
+Each bench times a tight loop over one operation the profiler identified
+as hot (docs/architecture.md, "Hot path & performance model").  The
+reference configuration matches ``benchmarks/bench_micro_structures.py``:
+a 40-site system and 80-record Opt-Track logs.
+
+The headline number is ``events_per_sec`` — the event kernel's dispatch
+throughput (schedule + pop + callback for no-op events), because every
+other cost in a simulation is paid *per kernel event*.  The structure
+benches ride along as per-op throughput so a regression can be localized
+without a profiler.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.activation import full_track_sm_ready, opt_track_entries_ready
+from ..core.clocks import MatrixClock, VectorClock
+from ..core.log import OptTrackLog, PiggybackEntry
+from ..core.messages import OptTrackSM
+from ..memory.store import WriteId
+from ..metrics.sizing import DEFAULT_SIZE_MODEL
+from ..sim.engine import Simulator
+
+__all__ = ["MICRO_BENCHES", "run_micro", "MicroResult"]
+
+#: paper-scale system size (matches bench_micro_structures)
+N = 40
+
+
+@dataclass(frozen=True, slots=True)
+class MicroResult:
+    """One micro bench's outcome."""
+
+    name: str
+    ops: int
+    wall_s: float
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def _build_log(n_entries: int = 80, n_sites: int = N, seed: int = 0) -> OptTrackLog:
+    rng = np.random.default_rng(seed)
+    log = OptTrackLog()
+    for k in range(n_entries):
+        writer = int(rng.integers(0, n_sites))
+        dests = sorted(
+            map(int, rng.choice(n_sites, size=rng.integers(0, 4), replace=False))
+        )
+        log.insert(writer, k + 1, dests)
+    return log
+
+
+# ----------------------------------------------------------------------
+# bench bodies: each takes an iteration count and returns ops executed
+# ----------------------------------------------------------------------
+def _bench_engine_dispatch(iters: int) -> int:
+    """Kernel schedule + pop + no-op callback — the per-event floor."""
+    sim = Simulator()
+
+    def noop() -> None:
+        return None
+
+    for i in range(iters):
+        sim.schedule(float(i % 97), noop)
+    sim.run()
+    return iters
+
+
+def _bench_engine_cancel_churn(iters: int) -> int:
+    """Schedule/cancel churn (retransmit-timer style tombstone load)."""
+    sim = Simulator()
+
+    def noop() -> None:
+        return None
+
+    survivors = 0
+    for i in range(iters):
+        ev = sim.schedule(float(i % 53), noop)
+        if i % 8:  # 7 of 8 events are cancelled before firing
+            ev.cancel()
+        else:
+            survivors += 1
+    sim.run()
+    return iters
+
+
+def _bench_piggyback_views(iters: int) -> int:
+    """One write's per-destination piggyback views (p = 12 at n = 40)."""
+    log = _build_log()
+    dests = frozenset(range(0, 12))
+    for _ in range(iters):
+        log.piggyback_views(dests)
+    return iters
+
+
+def _bench_log_merge(iters: int) -> int:
+    """Read-time MERGE of a typical piggybacked log into a fresh log."""
+    incoming = tuple(
+        PiggybackEntry(int(j % N), int(100 + j), frozenset({int(j % 7)}))
+        for j in range(40)
+    )
+    applied = np.zeros(N, dtype=np.int64)
+    for _ in range(iters):
+        log = _build_log()
+        log.merge(incoming, self_site=3, applied=applied)
+    return iters
+
+
+def _bench_activation_opt_track(iters: int) -> int:
+    """A_OPT over a 40-record piggybacked log (the per-delivery check)."""
+    entries = [
+        PiggybackEntry(j % N, j + 1, frozenset({j % 5, (j + 1) % 5}))
+        for j in range(40)
+    ]
+    applied = np.full(N, 1000, dtype=np.int64)
+    for _ in range(iters):
+        opt_track_entries_ready(entries, 3, applied)
+    return iters
+
+
+def _bench_activation_full_track(iters: int) -> int:
+    """A_OPT over an n = 40 matrix column."""
+    m = MatrixClock(N)
+    m.increment(0, range(N))
+    applied = np.ones(N, dtype=np.int64)
+    for _ in range(iters):
+        full_track_sm_ready(m, 0, 3, applied)
+    return iters
+
+
+def _bench_matrix_merge(iters: int) -> int:
+    rng = np.random.default_rng(0)
+    a = MatrixClock(N, rng.integers(0, 100, (N, N)))
+    b = MatrixClock(N, rng.integers(0, 100, (N, N)))
+    for _ in range(iters):
+        a.merge(b)
+    return iters
+
+
+def _bench_vector_merge(iters: int) -> int:
+    rng = np.random.default_rng(0)
+    a = VectorClock(N, rng.integers(0, 100, N))
+    b = VectorClock(N, rng.integers(0, 100, N))
+    for _ in range(iters):
+        a.merge(b)
+    return iters
+
+
+def _bench_message_sizing(iters: int) -> int:
+    """Per-send metadata pricing of an 80-record Opt-Track SM."""
+    log = tuple(_build_log().entries())
+    sm = OptTrackSM(var=0, value=1, write_id=WriteId(0, 1), log=log)
+    for _ in range(iters):
+        sm.metadata_size(DEFAULT_SIZE_MODEL)
+    return iters
+
+
+def _bench_matrix_snapshot(iters: int) -> int:
+    """Per-write matrix snapshot (Full-Track's dominant allocation)."""
+    m = MatrixClock(N)
+    m.increment(0, range(N))
+    for _ in range(iters):
+        m.copy()
+    return iters
+
+
+#: name -> (bench body, full-mode iterations, quick-mode iterations)
+MICRO_BENCHES: dict[str, tuple[Callable[[int], int], int, int]] = {
+    "engine_dispatch": (_bench_engine_dispatch, 120_000, 20_000),
+    "engine_cancel_churn": (_bench_engine_cancel_churn, 120_000, 20_000),
+    "piggyback_views": (_bench_piggyback_views, 2_000, 300),
+    "log_merge": (_bench_log_merge, 500, 80),
+    "activation_opt_track": (_bench_activation_opt_track, 20_000, 3_000),
+    "activation_full_track": (_bench_activation_full_track, 50_000, 8_000),
+    "matrix_merge": (_bench_matrix_merge, 50_000, 8_000),
+    "vector_merge": (_bench_vector_merge, 100_000, 15_000),
+    "message_sizing": (_bench_message_sizing, 20_000, 3_000),
+    "matrix_snapshot": (_bench_matrix_snapshot, 100_000, 15_000),
+}
+
+
+def run_micro(*, quick: bool = False, repeats: int = 5) -> dict:
+    """Run the micro suite; best-of-``repeats`` wall time per bench.
+
+    Best-of (not mean-of) because scheduler noise only ever *adds* time;
+    five repeats keeps the estimate stable on contended CI runners.
+
+    Returns a JSON-ready dict: per-bench ``{ops, wall_s, ops_per_sec}``
+    plus the headline ``events_per_sec`` (the kernel dispatch bench).
+    """
+    if quick:
+        repeats = min(repeats, 2)
+    benches: dict[str, dict] = {}
+    for name, (body, full_iters, quick_iters) in MICRO_BENCHES.items():
+        iters = quick_iters if quick else full_iters
+        best = float("inf")
+        ops = iters
+        for _ in range(repeats):
+            t0 = time.perf_counter()  # simcheck: ignore[SIM001] -- benchmark harness
+            ops = body(iters)
+            wall = time.perf_counter() - t0  # simcheck: ignore[SIM001] -- benchmark harness
+            if wall < best:
+                best = wall
+        benches[name] = {
+            "ops": ops,
+            "wall_s": round(best, 6),
+            "ops_per_sec": round(ops / best, 1) if best > 0 else 0.0,
+        }
+    return {
+        "reference": "bench_micro_structures",
+        "events_per_sec": benches["engine_dispatch"]["ops_per_sec"],
+        "benches": benches,
+    }

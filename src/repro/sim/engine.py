@@ -10,16 +10,29 @@ seed are bit-for-bit identical.
 
 The kernel is deliberately minimal: everything domain-specific (channels,
 processes, protocols) is layered on top via callbacks.
+
+Hot-path layout (see docs/architecture.md, "Hot path & performance
+model"): the heap stores ``(time, seq, event)`` tuples so ordering uses
+C-level tuple comparison instead of a Python ``__lt__``;
+:class:`ScheduledEvent` is a ``__slots__`` record; and cancellation is
+lazy with *bounded* garbage — cancelled entries are tombstones counted
+by the kernel and compacted out once they outnumber live entries
+(compaction is deterministic: the surviving ``(time, seq)`` keys are a
+total order, so ``heapify`` rebuilds the same heap in both runs of a
+double-run diff).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 __all__ = ["Simulator", "ScheduledEvent", "SimulationError"]
+
+#: queues smaller than this are never compacted — the scan costs more
+#: than the tombstones
+_COMPACT_MIN_QUEUE = 64
 
 
 class SimulationError(RuntimeError):
@@ -31,7 +44,6 @@ class SimulationError(RuntimeError):
     """
 
 
-@dataclass(order=True)
 class ScheduledEvent:
     """A pending callback in the event queue.
 
@@ -40,15 +52,45 @@ class ScheduledEvent:
     callback and its annotation do not participate in ordering.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "label", "cancelled", "_sim", "_queued")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        label: str = "",
+        _sim: Optional["Simulator"] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self._sim = _sim
+        self._queued = _sim is not None
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
 
     def cancel(self) -> None:
-        """Mark the event so the kernel skips it when popped."""
-        self.cancelled = True
+        """Mark the event so the kernel skips it when popped.
+
+        Cancelling an event still in the queue leaves a tombstone; the
+        owning simulator counts tombstones and compacts the heap when
+        they exceed half the queue (cancel-heavy fault plans — e.g.
+        retransmit timers under chaos — would otherwise grow the heap
+        without bound).
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queued and self._sim is not None:
+                self._sim._note_cancel()
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return (f"ScheduledEvent(t={self.time!r}, seq={self.seq}, "
+                f"label={self.label!r}, {state})")
 
 
 class Simulator:
@@ -67,15 +109,22 @@ class Simulator:
     """
 
     def __init__(self, *, max_events: Optional[int] = None) -> None:
-        self._queue: list[ScheduledEvent] = []
+        #: heap of (time, seq, event) — tuple comparison never reaches
+        #: the event because (time, seq) is unique
+        self._queue: list[tuple[float, int, ScheduledEvent]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
         self._max_events = max_events
         self._running = False
+        #: cancelled events still sitting in the heap
+        self._tombstones = 0
         #: optional per-event observer ``(time, pending_count)`` — used
         #: by the tracer's time-series sampler (event throughput, queue
         #: depth).  Purely passive; None costs one branch per event.
+        #: Install before calling :meth:`run` — the dispatch loop reads
+        #: it once at entry, so a swap from inside a callback only takes
+        #: effect on the next ``run()``/``step()``.
         self.observer: Optional[Callable[[float, int], None]] = None
 
     # ------------------------------------------------------------------
@@ -93,8 +142,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Number of events still queued (excluding cancelled ones)."""
+        return len(self._queue) - self._tombstones
 
     # ------------------------------------------------------------------
     # scheduling
@@ -128,18 +177,45 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time!r} before current time t={self._now!r}"
             )
-        ev = ScheduledEvent(time=time, seq=next(self._seq), callback=callback, label=label)
-        heapq.heappush(self._queue, ev)
+        seq = next(self._seq)
+        ev = ScheduledEvent(time, seq, callback, label, self)
+        heapq.heappush(self._queue, (time, seq, ev))
         return ev
+
+    # ------------------------------------------------------------------
+    # tombstone accounting
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """One queued event turned into a tombstone; maybe compact."""
+        self._tombstones += 1
+        if (self._tombstones * 2 > len(self._queue)
+                and len(self._queue) >= _COMPACT_MIN_QUEUE):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones (deterministic: the
+        surviving (time, seq) keys are unique, so heapify's result is a
+        pure function of the surviving set).
+
+        Mutates the queue list in place — ``run()`` holds a local alias
+        to it across callbacks, and compaction can fire mid-callback via
+        ``cancel()``.
+        """
+        self._queue[:] = [item for item in self._queue if not item[2].cancelled]
+        heapq.heapify(self._queue)
+        self._tombstones = 0
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the single next event.  Returns False if queue is empty."""
-        while self._queue:
-            ev = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            ev = heapq.heappop(queue)[2]
+            ev._queued = False
             if ev.cancelled:
+                self._tombstones -= 1
                 continue
             self._now = ev.time
             self._processed += 1
@@ -149,7 +225,7 @@ class Simulator:
                     "likely a protocol livelock"
                 )
             if self.observer is not None:
-                self.observer(ev.time, len(self._queue))
+                self.observer(ev.time, len(queue))
             ev.callback()
             return True
         return False
@@ -164,17 +240,49 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        # the dispatch loop is deliberately inlined (vs calling step())
+        # and binds hot names to locals: this loop IS the per-event cost
+        # floor of every simulation.  ``processed`` lives in a local and
+        # is written back in the finally (callbacks never read it
+        # mid-run); ``observer`` is read once at entry (see its docs).
+        queue = self._queue
+        pop = heapq.heappop
+        max_events = self._max_events
+        observer = self.observer
+        processed = self._processed
         try:
-            while self._queue:
-                head = self._queue[0]
+            while queue:
+                head = queue[0][2]
                 if head.cancelled:
-                    heapq.heappop(self._queue)
+                    pop(queue)
+                    head._queued = False
+                    self._tombstones -= 1
                     continue
-                if until is not None and head.time > until:
+                batch_until = head.time
+                if until is not None and batch_until > until:
                     break
-                self.step()
+                # batch: every event at this exact timestamp is known to
+                # be inside the horizon, so the until-check and clock
+                # write happen once per timestamp, not once per event
+                self._now = batch_until
+                while queue and queue[0][0] == batch_until:
+                    ev = pop(queue)[2]
+                    ev._queued = False
+                    if ev.cancelled:
+                        self._tombstones -= 1
+                        continue
+                    processed += 1
+                    if max_events is not None and processed > max_events:
+                        raise SimulationError(
+                            f"event budget exceeded ({max_events}); "
+                            "likely a protocol livelock"
+                        )
+                    if observer is not None:
+                        observer(batch_until, len(queue))
+                    ev.callback()
             if until is not None and until > self._now:
                 self._now = until
             return self._now
         finally:
+            self._processed = processed
             self._running = False

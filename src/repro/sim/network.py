@@ -144,9 +144,13 @@ class AdversarialLatency(LatencyModel):
         return float(np.exp(rng.uniform(lo, hi)))
 
 
-@dataclass
+@dataclass(slots=True)
 class ChannelStats:
-    """Bookkeeping per directed channel (src, dst)."""
+    """Bookkeeping per directed channel (src, dst).
+
+    Slotted: one instance per directed channel (n^2 of them), each
+    touched on every send — no ``__dict__`` on the hot path.
+    """
 
     messages: int = 0
     last_delivery: float = -1.0
@@ -202,6 +206,23 @@ class Network:
         self._uplink_busy_until: dict[int, float] = {}
         self._receivers: dict[int, Callable[[int, object], None]] = {}
         self._channels: dict[tuple[int, int], ChannelStats] = {}
+        # delivery-event labels are pure debug strings; interned per
+        # channel so the send fast path skips an f-string per message
+        self._labels: dict[tuple[int, int], str] = {}
+        # Plain-uniform latency models admit block draws: a numpy
+        # Generator consumes the bit stream identically for one
+        # uniform() call per message and for a block of 256, so the
+        # sampled delays are byte-identical while the per-message numpy
+        # dispatch overhead is paid once per block.  Any other model
+        # (pair-dependent, shaped) keeps the per-call path.
+        if type(self.latency) is UniformLatency:
+            self._uniform_buf: Optional[list[float]] = []
+            self._uniform_lo = self.latency.low_ms
+            self._uniform_hi = self.latency.high_ms
+        else:
+            self._uniform_buf = None
+            self._uniform_lo = self._uniform_hi = 0.0
+        self._uniform_pos = 0
         self.total_messages = 0
         # fault injection: paused sites hold their inbound deliveries
         # (per-channel FIFO preserved) until resumed
@@ -315,6 +336,25 @@ class Network:
         return st
 
     # ------------------------------------------------------------------
+    def _sample_latency(self, src: int, dst: int) -> float:
+        """One cross-site delay draw; block-buffered for plain uniform.
+
+        The buffered path consumes the generator's bit stream exactly as
+        per-message ``uniform()`` calls would (verified: numpy block
+        draws of doubles are stream-identical to repeated single draws),
+        so sampled delays — and therefore traces — are unchanged.
+        """
+        buf = self._uniform_buf
+        if buf is None:
+            return self.latency.sample(src, dst, self.rng)
+        pos = self._uniform_pos
+        if pos >= len(buf):
+            buf = self.rng.uniform(self._uniform_lo, self._uniform_hi, 256).tolist()
+            self._uniform_buf = buf
+            pos = 0
+        self._uniform_pos = pos + 1
+        return buf[pos]  # type: ignore[no-any-return]
+
     def send(self, src: int, dst: int, message: object,
              *, size_bytes: float = 0.0) -> Optional[float]:
         """Send one message; returns its scheduled delivery time (ms).
@@ -342,17 +382,23 @@ class Network:
         if src == dst:
             delay = self.latency.local_delay()
         else:
-            delay = self.latency.sample(src, dst, self.rng)
-        stats = self.channel_stats(src, dst)
+            delay = self._sample_latency(src, dst)
+        key = (src, dst)
+        stats = self._channels.get(key)
+        if stats is None:
+            stats = self._channels[key] = ChannelStats()
         delivery = max(departure + delay, stats.last_delivery + FIFO_EPSILON)
         stats.last_delivery = delivery
         stats.messages += 1
         self.total_messages += 1
+        label = self._labels.get(key)
+        if label is None:
+            label = self._labels[key] = f"deliver {src}->{dst}"
 
         def _deliver() -> None:
             self._deliver_app(src, dst, message)
 
-        self.sim.schedule_at(delivery, _deliver, label=f"deliver {src}->{dst}")
+        self.sim.schedule_at(delivery, _deliver, label=label)
         return delivery
 
     def _deliver_app(self, src: int, dst: int, message: object) -> None:
@@ -417,7 +463,7 @@ class Network:
         if src == dst:
             delay = self.latency.local_delay()
         else:
-            delay = self.latency.sample(src, dst, self.rng)
+            delay = self._sample_latency(src, dst)
         delivery = departure + delay + decision.extra_delay_ms
         stats.last_delivery = max(stats.last_delivery, delivery)
         if decision.extra_delay_ms and self.collector is not None:
@@ -429,7 +475,7 @@ class Network:
         )
         for _ in range(decision.duplicates):
             dup_delay = (self.latency.local_delay() if src == dst
-                         else self.latency.sample(src, dst, self.rng))
+                         else self._sample_latency(src, dst))
             stats.messages += 1
             self.total_messages += 1
             if self.collector is not None:

@@ -76,6 +76,17 @@ class TestWallClock:
         """, codes=["SIM001"])
         assert findings == []
 
+    def test_perf_harness_exempt(self, tmp_path):
+        # repro/perf is the in-package benchmark harness: wall-clock
+        # reads are its whole point
+        findings = run_lint(tmp_path, "repro/perf/fx.py", """
+            import time
+
+            def f() -> float:
+                return time.perf_counter()
+        """, codes=["SIM001"])
+        assert findings == []
+
     def test_simulated_clock_passes(self, tmp_path):
         findings = run_lint(tmp_path, "repro/core/fx.py", """
             def f(self) -> float:
@@ -237,6 +248,18 @@ class TestMutateAfterSend:
                 scratch.append(dst)
         """, codes=["SIM005"])
         assert findings == []
+
+    def test_log_pruning_mutators_flagged(self, tmp_path):
+        # the OptTrackLog/TupleLog in-place pruning API mutates
+        # destination sets that piggybacks may alias
+        findings = run_lint(tmp_path, "repro/core/fx.py", """
+            def f(self, dst, log):
+                self._send(dst, SomeSM(log=log))
+                log.remove_dests({dst})
+                log.purge()
+                log.reset(0, 1)
+        """, codes=["SIM005"])
+        assert codes_of(findings) == ["SIM005", "SIM005", "SIM005"]
 
 
 # ----------------------------------------------------------------------

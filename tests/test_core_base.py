@@ -103,7 +103,7 @@ class TestDrainLoop:
         proto.on_message(0, m1)
         assert proto.pending_count == 0   # cascade applied everything
         assert ctx.store.read(0).value == "c"
-        assert proto.applied.tolist() == [3, 0, 0]
+        assert proto.applied == [3, 0, 0]
 
     def test_activation_delay_recorded_only_when_buffered(self):
         from repro.core.messages import CRPSM

@@ -87,7 +87,7 @@ class TestCRPOrdering:
         assert proto.pending_count == 2
         proto.on_message(0, m1)
         assert proto.pending_count == 0
-        assert proto.applied.tolist() == [2, 0, 1]
+        assert proto.applied == [2, 0, 1]
 
 
 class TestFullTrackOrdering:

@@ -57,7 +57,7 @@ class TestFullTrackInternals:
         c.write(0, 0, "a")
         c.write(1, 1, "b")
         c.settle()
-        assert c.protocols[2].applied.tolist() == [1, 1, 0]
+        assert c.protocols[2].applied == [1, 1, 0]
 
 
 class TestOptTrackInternals:
@@ -200,7 +200,7 @@ class TestOptPInternals:
         for k in range(3):
             c.write(0, 0, k)
         c.settle()
-        assert c.protocols[2].applied.tolist() == [3, 0, 0]
+        assert c.protocols[2].applied == [3, 0, 0]
 
 
 class TestRemoteReadGating:

@@ -83,6 +83,65 @@ class TestCancellation:
         ev.cancel()
         assert sim.pending_events == 1
 
+    def test_mass_cancellation_compacts_queue(self):
+        # regression: cancelled events used to sit in the heap as
+        # tombstones until popped, so a retransmit-heavy run kept O(all
+        # cancels) dead entries resident.  Compaction must physically
+        # shrink the heap once tombstones dominate, without disturbing
+        # the surviving events' order.
+        sim = Simulator()
+        fired = []
+        keep = []
+        doomed = []
+        for i in range(200):
+            t = float(i + 1)
+            if i % 10 == 0:
+                keep.append(sim.schedule(t, lambda t=t: fired.append(t)))
+            else:
+                doomed.append(sim.schedule(t, lambda: fired.append("dead")))
+        for ev in doomed:
+            ev.cancel()
+        # tombstones (180) outnumber survivors (20): compaction has run,
+        # leaving at most the sub-threshold residue it deliberately skips
+        assert sim.pending_events == 20
+        assert len(sim._queue) < 64
+        sim.run()
+        assert fired == [float(i + 1) for i in range(0, 200, 10)]
+        assert sim._tombstones == 0
+
+    def test_compaction_below_min_queue_is_deferred(self):
+        # small queues skip compaction (not worth a heapify); the popped
+        # tombstones must still be skipped and accounted for
+        sim = Simulator()
+        fired = []
+        doomed = [sim.schedule(float(i + 1), lambda: fired.append("dead"))
+                  for i in range(10)]
+        sim.schedule(99.0, lambda: fired.append("live"))
+        for ev in doomed:
+            ev.cancel()
+        assert len(sim._queue) == 11  # tombstones still resident
+        sim.run()
+        assert fired == ["live"]
+        assert sim._tombstones == 0
+
+    def test_cancel_inside_callback_keeps_run_loop_consistent(self):
+        # compaction can trigger mid-callback (cancel() during an event);
+        # run() must keep draining the same physical queue afterwards
+        sim = Simulator()
+        fired = []
+        doomed = [sim.schedule(50.0 + i, lambda: fired.append("dead"))
+                  for i in range(100)]
+        sim.schedule(200.0, lambda: fired.append("tail"))
+
+        def cancel_all():
+            fired.append("trigger")
+            for ev in doomed:
+                ev.cancel()
+
+        sim.schedule(1.0, cancel_all)
+        sim.run()
+        assert fired == ["trigger", "tail"]
+
 
 class TestRunUntil:
     def test_run_until_stops_at_horizon(self):
