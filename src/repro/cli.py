@@ -34,7 +34,13 @@ from .experiments import paper
 from .experiments.configs import EXPERIMENTS
 from .experiments.report import format_kv, format_table, write_csv
 from .experiments.runner import SimulationConfig, run_simulation
-from .sim.faults import ChannelFaults, CrashEvent, FaultPlan, Partition
+from .sim.faults import (
+    ChannelFaults,
+    CrashEvent,
+    FaultPlan,
+    Partition,
+    seeded_churn,
+)
 from .sim.network import (
     AdversarialLatency,
     ConstantLatency,
@@ -195,6 +201,22 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
                      metavar="MS",
                      help="durable checkpoint period (default: 250 ms when "
                           "a crash plan is given, off otherwise)")
+    grp.add_argument("--churn-joins", type=int, default=0, metavar="N",
+                     help="number of seeded site joins (elastic membership)")
+    grp.add_argument("--churn-leaves", type=int, default=0, metavar="N",
+                     help="number of seeded graceful site leaves")
+    grp.add_argument("--churn-seed", type=int, default=0,
+                     help="seed of the membership-churn schedule")
+    grp.add_argument("--churn-window", default=None, metavar="START:END",
+                     help="ms window churn events fall in (default 500:3000)")
+    grp.add_argument("--auto-evict", type=float, default=None, metavar="MS",
+                     help="evict a crash-stopped site MS after the failure "
+                          "detector first suspects it")
+    grp.add_argument("--fault-plan-json", default=None, metavar="PATH",
+                     help="load the complete fault plan from a JSON file "
+                          "(overrides the individual chaos flags)")
+    grp.add_argument("--dump-fault-plan", default=None, metavar="PATH",
+                     help="write the effective fault plan as JSON and continue")
 
 
 def _parse_partition(spec: str) -> Partition:
@@ -229,21 +251,66 @@ def _parse_crash_plan(spec: str) -> tuple[CrashEvent, ...]:
     return tuple(events)
 
 
+def _parse_churn_window(spec: Optional[str]) -> tuple[float, float]:
+    if spec is None:
+        return (500.0, 3000.0)
+    try:
+        start, end = spec.split(":")
+        return (float(start), float(end))
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(
+            f"invalid --churn-window {spec!r} (want START:END ms): {exc}"
+        )
+
+
 def _fault_plan_from_args(args: argparse.Namespace) -> Optional[FaultPlan]:
     """None unless some chaos knob was set (keeps the zero-overhead path)."""
-    partitions = (_parse_partition(args.partition),) if args.partition else ()
-    crashes = _parse_crash_plan(args.crash_plan) if args.crash_plan else ()
-    if not (args.drop_rate or args.dup_rate or partitions or crashes):
-        return None
-    try:
-        return FaultPlan.build(
-            default=ChannelFaults(drop_rate=args.drop_rate,
-                                  dup_rate=args.dup_rate),
-            partitions=partitions,
-            crashes=crashes,
-        )
-    except ValueError as exc:
-        raise SystemExit(f"invalid fault plan: {exc}")
+    plan: Optional[FaultPlan]
+    if args.fault_plan_json:
+        from pathlib import Path
+
+        try:
+            plan = FaultPlan.from_json(Path(args.fault_plan_json).read_text())
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise SystemExit(f"cannot load --fault-plan-json: {exc}")
+    else:
+        partitions = (_parse_partition(args.partition),) if args.partition else ()
+        crashes = _parse_crash_plan(args.crash_plan) if args.crash_plan else ()
+        membership = ()
+        if args.churn_joins or args.churn_leaves:
+            try:
+                membership = seeded_churn(
+                    args.sites,
+                    n_joins=args.churn_joins,
+                    n_leaves=args.churn_leaves,
+                    window_ms=_parse_churn_window(args.churn_window),
+                    seed=args.churn_seed,
+                    # a site cannot both crash and gracefully leave
+                    avoid={c.site for c in crashes},
+                )
+            except ValueError as exc:
+                raise SystemExit(f"invalid churn plan: {exc}")
+        if not (args.drop_rate or args.dup_rate or partitions or crashes
+                or membership):
+            plan = None
+        else:
+            try:
+                plan = FaultPlan.build(
+                    default=ChannelFaults(drop_rate=args.drop_rate,
+                                          dup_rate=args.dup_rate),
+                    partitions=partitions,
+                    crashes=crashes,
+                    membership=membership,
+                )
+            except ValueError as exc:
+                raise SystemExit(f"invalid fault plan: {exc}")
+    if args.dump_fault_plan:
+        from pathlib import Path
+
+        dumped = plan if plan is not None else FaultPlan.build()
+        Path(args.dump_fault_plan).write_text(dumped.to_json(indent=2))
+        print(f"fault plan written to {args.dump_fault_plan}")
+    return plan
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -260,10 +327,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fault_plan=_fault_plan_from_args(args),
         fault_seed=args.fault_seed,
         checkpoint_interval_ms=args.checkpoint_interval,
+        auto_evict_after_ms=args.auto_evict,
     )
     result = run_simulation(cfg)
     print(format_kv(result.summary()))
     _print_crash_stats(result)
+    _print_membership_stats(result)
     if args.check:
         report = check_causal_consistency(result.history, result.placement)
         print(f"\ncausal consistency: {'OK' if report.ok else 'VIOLATED'} "
@@ -381,6 +450,8 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
         record_history=True,
         fault_plan=_fault_plan_from_args(args),
         fault_seed=args.fault_seed,
+        checkpoint_interval_ms=args.checkpoint_interval,
+        auto_evict_after_ms=args.auto_evict,
     )
     tracer = Tracer()
     result = run_simulation(cfg, tracer=tracer)
@@ -469,6 +540,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         fault_plan=_fault_plan_from_args(args),
         fault_seed=args.fault_seed,
         checkpoint_interval_ms=args.checkpoint_interval,
+        auto_evict_after_ms=args.auto_evict,
     )
     result = run_simulation(cfg)
     report = check_causal_consistency(result.history, result.placement)
@@ -483,6 +555,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
               f"{col.duplicate_drops} duplicates suppressed, "
               f"{col.acks_sent} acks")
     _print_crash_stats(result)
+    _print_membership_stats(result)
     for v in report.violations[:20]:
         print(f"  {v}")
     return 0 if report.ok else 1
@@ -503,6 +576,20 @@ def _print_crash_stats(result) -> int:
           f"{col.false_suspicions} false suspicions; "
           f"{col.sync_messages} sync msgs; "
           f"{col.lost_ops} ops lost (crash-stop)")
+    return 0
+
+
+def _print_membership_stats(result) -> int:
+    """One summary line for elastic membership (silent when static)."""
+    vm = getattr(result, "view_manager", None)
+    if vm is None:
+        return 0
+    view = vm.view
+    st = vm.stats
+    print(f"membership: epoch {view.epoch}, members {list(view.members)}; "
+          f"{st.joins} joins, {st.leaves} leaves, {st.evictions} evictions, "
+          f"{st.handoffs} replica handoffs, "
+          f"{st.lost_variables} variables lost to eviction")
     return 0
 
 

@@ -36,6 +36,13 @@ from .sim.crash import CatchupPolicy, CrashRecoveryManager, install_crash_recove
 from .sim.engine import Simulator
 from .sim.failure_detector import DetectorPolicy
 from .sim.faults import FaultInjector, FaultPlan
+from .sim.membership import (
+    DepartedSiteError,
+    MembershipPolicy,
+    UnknownSiteError,
+    View,
+    ViewManager,
+)
 from .sim.network import LatencyModel, Network, UniformLatency
 from .sim.reliable import RetransmitPolicy
 from .verify.causal_checker import CheckReport, check_causal_consistency
@@ -68,6 +75,8 @@ class CausalCluster:
         checkpoint_interval_ms: Optional[float] = None,
         detector: Optional[DetectorPolicy] = None,
         catchup: Optional[CatchupPolicy] = None,
+        membership_policy: Optional[MembershipPolicy] = None,
+        auto_evict_after_ms: Optional[float] = None,
     ) -> None:
         # Reuse SimulationConfig purely for validation + placement logic.
         config = SimulationConfig(
@@ -155,11 +164,18 @@ class CausalCluster:
                 tracer=tracer,
             )
         self._op_counter = 0
+        # Elastic membership: the view manager is built lazily on first
+        # use so static clusters stay byte-identical to the seed path.
+        self._membership_policy = membership_policy
+        self.view_manager: Optional[ViewManager] = None
+        if auto_evict_after_ms is not None:
+            self._ensure_view_manager().enable_eviction(auto_evict_after_ms)
 
     # ------------------------------------------------------------------
     @property
     def n_sites(self) -> int:
-        return self.config.n_sites
+        """Current id-space size (grows when sites join; never shrinks)."""
+        return self.network.n_sites
 
     @property
     def now(self) -> float:
@@ -167,8 +183,14 @@ class CausalCluster:
         return self.sim.now
 
     def _check_site(self, site: int) -> None:
+        if self.view_manager is not None:
+            # typed membership errors: UnknownSiteError for never-issued
+            # ids, DepartedSiteError for left/evicted ones
+            self.view_manager.check_member(site)
+            return
         if not 0 <= site < self.n_sites:
-            raise ValueError(f"site {site} out of range [0, {self.n_sites})")
+            # subclasses ValueError, so pre-membership callers still work
+            raise UnknownSiteError(site, self.n_sites)
 
     def _check_up(self, site: int) -> None:
         if self.crash_manager is not None and self.crash_manager.is_down(site):
@@ -258,12 +280,14 @@ class CausalCluster:
     def pause_site(self, site: int) -> None:
         """Hold all deliveries to ``site`` (model a stalled process)."""
         self._check_site(site)
+        self._wake()  # the failure detector must be running to notice
         self.network.pause_site(site)
 
     def resume_site(self, site: int) -> None:
         """Flush held deliveries to ``site`` (through the event loop, so
         run ``settle``/``advance`` to observe them) and resume normal flow."""
         self._check_site(site)
+        self._wake()
         self.network.resume_site(site)
 
     def partition(self, sites: "set[int] | Sequence[int]") -> None:
@@ -335,6 +359,76 @@ class CausalCluster:
         if self.crash_manager is None:
             return set()
         return set(self.crash_manager.down)
+
+    # ------------------------------------------------------------------
+    # elastic membership (see repro.sim.membership / docs/membership.md)
+    # ------------------------------------------------------------------
+    def _protocol_factory(self, new_id: int) -> CausalProtocol:
+        """Build a joiner's protocol (called after placement + network
+        have already been grown, so per-site derived state is correct)."""
+        ctx = ProtocolContext(
+            site=new_id,
+            n_sites=self.network.n_sites,
+            placement=self.placement,
+            store=SiteStore(new_id, self.placement.vars_at(new_id)),
+            network=self.network,
+            sim=self.sim,
+            collector=self.collector,
+            size_model=self.config.size_model,
+            history=self.history,
+            tracer=self.tracer,
+        )
+        return create_protocol(self.config.protocol, ctx)
+
+    def _ensure_view_manager(self) -> ViewManager:
+        if self.view_manager is None:
+            self.view_manager = ViewManager(
+                self.sim, self.network, self.placement, self.protocols,
+                protocol_factory=self._protocol_factory,
+                crash_manager=self.crash_manager,
+                policy=self._membership_policy,
+            )
+        return self.view_manager
+
+    @property
+    def view(self) -> View:
+        """The current membership view (epoch 0 covers a static cluster)."""
+        if self.view_manager is not None:
+            return self.view_manager.view
+        return View(epoch=0, members=tuple(range(self.n_sites)),
+                    capacity=self.n_sites)
+
+    def membership_status(self, site: int) -> str:
+        """``"member"``, ``"left"``, ``"evicted"``, or ``"unknown"``."""
+        if self.view_manager is not None:
+            return self.view_manager.membership_status(site)
+        return "member" if 0 <= site < self.n_sites else "unknown"
+
+    def join_site(self) -> int:
+        """Admit a new site now (fence, drain, bootstrap, new epoch).
+
+        Returns the joiner's id.  The view change runs synchronously:
+        the simulator is stepped until in-flight work drains, then the
+        membership mutates and a new epoch is announced.
+        """
+        self._wake()
+        view = self._ensure_view_manager().run_change("join")
+        return view.capacity - 1
+
+    def leave_site(self, site: int) -> None:
+        """Retire ``site`` gracefully: drain, hand off solely-held
+        replicas to its successor, announce the new epoch."""
+        self._check_site(site)
+        self._wake()
+        self._ensure_view_manager().run_change("leave", site)
+
+    def evict_site(self, site: int) -> None:
+        """Force a crash-stopped ``site`` out of the view.  Variables
+        whose only replica it held degrade to None (counted in
+        ``view_manager.stats.lost_variables``)."""
+        self._check_site(site)
+        self._wake()
+        self._ensure_view_manager().run_change("evict", site)
 
     def _held_by_site(self) -> dict[int, int]:
         return {

@@ -259,12 +259,22 @@ class CausalProtocol(abc.ABC):
         #: liveness oracle for fetch-target failover (wired by the
         #: crash-recovery manager; ``None`` = everyone is up)
         self._liveness: Optional[Callable[[int], bool]] = None
+        #: current view membership as a sorted tuple, or ``None`` under
+        #: static membership (the zero-overhead path: broadcasts then
+        #: target ``range(self.n)`` exactly as before elastic membership)
+        self._members: Optional[tuple[int, ...]] = None
+        #: set once this site leaves / is evicted; operations fail fast
+        self._departed_status: Optional[str] = None
 
     # ------------------------------------------------------------------
     # public API driven by the application subsystem
     # ------------------------------------------------------------------
     def write(self, var: int, value: object, *, op_index: Optional[int] = None) -> WriteId:
         """Perform w(x_var)value locally and multicast it to all replicas."""
+        if self._departed_status is not None:
+            from ..sim.membership import DepartedSiteError
+
+            raise DepartedSiteError(self.site, self._departed_status)
         if self._wal is not None and not self._replaying:
             self._wal.log_write(var, value)
         return self._perform_write(var, value, op_index=op_index)
@@ -284,6 +294,10 @@ class CausalProtocol(abc.ABC):
         remote reads issue an FM to the predesignated replica and
         complete when the gated RM arrives.
         """
+        if self._departed_status is not None:
+            from ..sim.membership import DepartedSiteError
+
+            raise DepartedSiteError(self.site, self._departed_status)
         ctx = self.ctx
         if self._wal is not None and not self._replaying:
             self._wal.log_read(var)
@@ -968,6 +982,66 @@ class CausalProtocol(abc.ABC):
         self._fetches.clear()
         return len(records)
 
+    # ------------------------------------------------------------------
+    # elastic membership (see repro.sim.membership)
+    # ------------------------------------------------------------------
+    def on_view_change(self, view) -> None:
+        """Adopt a new view epoch: remap/resize causality metadata.
+
+        Called by the :class:`~repro.sim.membership.ViewManager` at a
+        *drained* fence — no protocol message is in flight, so resizing
+        is a pure pad-with-zeros (a site that did not exist yet trivially
+        has zero causal knowledge).  Idempotent with respect to
+        dimension: crash recovery re-announces the live view right after
+        a (possibly pre-growth) checkpoint is restored, and the hooks
+        grow from the structures' *actual* sizes.
+        """
+        self._members = view.members
+        capacity = view.capacity
+        if capacity > self.n:
+            self.n = capacity
+            self.ctx.n_sites = capacity
+        if self._waiters is not None:
+            while len(self._waiters) < capacity:
+                self._waiters.append([])
+        self._view_grow(capacity)
+        self._view_change_extra(view)
+
+    def _view_grow(self, capacity: int) -> None:
+        """Pad protocol metadata (clocks, ``applied``, ...) to ``capacity``.
+
+        Overridden by every concrete protocol; must grow from actual
+        structure sizes (not ``self.n``) so it composes with restore().
+        """
+
+    def _view_change_extra(self, view) -> None:
+        """Protocol-specific remapping beyond plain growth (e.g. clearing
+        interned destination-set memos that referenced departed sites)."""
+
+    def reset_writer_identity(self, site: int) -> None:
+        """Reset writer-local counters after a donor-forked bootstrap.
+
+        A joiner cloned from a donor snapshot must issue write ids as
+        *itself* starting from clock 1; protocols whose write counter
+        lives in shared structures (vector/matrix clock row) need no
+        reset because the joiner's own row is zero-padded.
+        """
+
+    def mark_departed(self, status: str = "left") -> None:
+        """This site is out of the view: fail its operations fast."""
+        self._departed_status = status
+        self._fetches.clear()
+
+    def _broadcast_dests(self) -> Sequence[int]:
+        """Destinations of a full-replication broadcast: every member.
+
+        ``range(self.n)`` under static membership — byte-identical to the
+        pre-membership behavior — and the current view's member tuple
+        once a view change has happened.
+        """
+        members = self._members
+        return range(self.n) if members is None else members
+
     def knows_write(self, wid: WriteId) -> Optional[bool]:
         """Whether this site has applied ``wid`` (anti-entropy digests).
 
@@ -992,6 +1066,18 @@ class CausalProtocol(abc.ABC):
         """Buffered messages + outstanding fetches (0 at quiescence)."""
         return (len(self._pending_sm) + len(self._pending_rm)
                 + len(self._pending_fm) + len(self._fetches))
+
+    @property
+    def buffered_count(self) -> int:
+        """Buffered messages only, *excluding* outstanding fetches.
+
+        The view-change fence drains on this rather than
+        :attr:`pending_count`: a fetch aimed at a crash-stopped site can
+        never complete, and a fence that waited on it would deadlock
+        (dimension-tolerant clock merges make the late reply safe).
+        """
+        return (len(self._pending_sm) + len(self._pending_rm)
+                + len(self._pending_fm))
 
     def log_size(self) -> int:
         """Current causality-metadata size (entries); protocol-specific."""

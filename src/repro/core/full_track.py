@@ -74,7 +74,7 @@ class FullTrackProtocol(CausalProtocol):
         ctx.collector.record_operation(True)
         ctx.history.record_write_op(
             time=ctx.sim.now, site=self.site, var=var, value=value,
-            write_id=wid, op_index=op_index,
+            write_id=wid, op_index=op_index, dests=dests,
         )
         if ctx.tracer is not None:
             ctx.tracer.write_issued(self.site, ctx.sim.now, writer=wid.site,
@@ -191,6 +191,16 @@ class FullTrackProtocol(CausalProtocol):
 
     # knows_write stays None: Apply_i counts applications destined here,
     # not writer clocks, so it cannot be compared against a WriteId
+
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def _view_grow(self, capacity: int) -> None:
+        # grow from actual sizes: a freshly restored (pre-growth)
+        # checkpoint may be smaller than self.n
+        self.write_clock.grow(capacity)
+        while len(self.applied) < capacity:
+            self.applied.append(0)
 
     # ------------------------------------------------------------------
     def log_size(self) -> int:

@@ -81,7 +81,7 @@ class OptTrackProtocol(CausalProtocol):
         ctx.collector.record_operation(True)
         ctx.history.record_write_op(
             time=ctx.sim.now, site=self.site, var=var, value=value,
-            write_id=wid, op_index=op_index,
+            write_id=wid, op_index=op_index, dests=dests,
         )
         if ctx.tracer is not None:
             ctx.tracer.write_issued(self.site, ctx.sim.now, writer=wid.site,
@@ -278,6 +278,19 @@ class OptTrackProtocol(CausalProtocol):
         # clocks of destined-here writes increase along FIFO channels,
         # so the comparison is sound in both directions.
         return bool(self.applied[wid.site] >= wid.clock)
+
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def _view_grow(self, capacity: int) -> None:
+        # the KS log is keyed by writer id, not indexed — no growth needed
+        while len(self.applied) < capacity:
+            self.applied.append(0)
+
+    def _view_change_extra(self, view) -> None:
+        # the (var, writer) -> dests memo interned the *old* placement's
+        # replica sets; a view change remaps placement, so drop it
+        self._apply_dests.clear()
 
     # ------------------------------------------------------------------
     def log_size(self) -> int:

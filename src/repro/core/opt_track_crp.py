@@ -58,10 +58,11 @@ class OptTrackCRPProtocol(CausalProtocol):
         self.clock += 1
         wid = WriteId(self.site, self.clock)
 
+        dests = self._broadcast_dests()
         ctx.collector.record_operation(True)
         ctx.history.record_write_op(
             time=ctx.sim.now, site=self.site, var=var, value=value,
-            write_id=wid, op_index=op_index,
+            write_id=wid, op_index=op_index, dests=dests,
         )
         if ctx.tracer is not None:
             ctx.tracer.write_issued(self.site, ctx.sim.now, writer=wid.site,
@@ -71,7 +72,7 @@ class OptTrackCRPProtocol(CausalProtocol):
         piggy = self.log.entries()  # the write's dependencies (pre-reset log)
         sm = CRPSM(var=var, value=value, write_id=wid, log=piggy,
                    issued_at=ctx.sim.now)
-        self._multicast(range(self.n), lambda d: sm, MessageKind.SM)
+        self._multicast(dests, lambda d: sm, MessageKind.SM)
 
         # Local apply + log reset: the new write subsumes everything the
         # log used to carry.
@@ -148,6 +149,18 @@ class OptTrackCRPProtocol(CausalProtocol):
 
     def knows_write(self, wid: WriteId) -> Optional[bool]:
         return bool(self.applied[wid.site] >= wid.clock)
+
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def _view_grow(self, capacity: int) -> None:
+        while len(self.applied) < capacity:
+            self.applied.append(0)
+
+    def reset_writer_identity(self, site: int) -> None:
+        # a donor-forked joiner inherited the donor's scalar write
+        # counter; its own write ids must start at clock 1
+        self.clock = 0
 
     # ------------------------------------------------------------------
     def log_size(self) -> int:

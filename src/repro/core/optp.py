@@ -53,17 +53,18 @@ class OptPProtocol(CausalProtocol):
         wid = WriteId(self.site, clock)
         snapshot = self.write_clock.copy()
 
+        dests = self._broadcast_dests()
         ctx.collector.record_operation(True)
         ctx.history.record_write_op(
             time=ctx.sim.now, site=self.site, var=var, value=value,
-            write_id=wid, op_index=op_index,
+            write_id=wid, op_index=op_index, dests=dests,
         )
         if ctx.tracer is not None:
             ctx.tracer.write_issued(self.site, ctx.sim.now, writer=wid.site,
                                     clock=wid.clock, var=var)
         sm = OptPSM(var=var, value=value, write_id=wid, vector=snapshot,
                     issued_at=ctx.sim.now)
-        self._multicast(range(self.n), lambda d: sm, MessageKind.SM)
+        self._multicast(dests, lambda d: sm, MessageKind.SM)
 
         self._apply_value(var, value, wid, snapshot)
         self._drain()
@@ -133,6 +134,14 @@ class OptPProtocol(CausalProtocol):
         # Apply_i[j] counts ap_j's writes contiguously (every write goes
         # everywhere under full replication)
         return bool(self.applied[wid.site] >= wid.clock)
+
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def _view_grow(self, capacity: int) -> None:
+        self.write_clock.grow(capacity)
+        while len(self.applied) < capacity:
+            self.applied.append(0)
 
     # ------------------------------------------------------------------
     def log_size(self) -> int:

@@ -44,8 +44,9 @@ from ..sim.crash import (
 )
 from ..sim.engine import Simulator
 from ..sim.failure_detector import DetectorPolicy
-from ..sim.faults import FaultInjector, FaultPlan
-from ..sim.network import LatencyModel, Network, UniformLatency
+from ..sim.faults import FaultInjector, FaultPlan, JoinEvent
+from ..sim.membership import MembershipPolicy, ViewManager
+from ..sim.network import LatencyModel, Network, PerPairLatency, UniformLatency
 from ..sim.process import Site
 from ..sim.reliable import RetransmitPolicy
 from ..verify.history import HistoryRecorder
@@ -111,6 +112,11 @@ class SimulationConfig:
     detector: Optional[DetectorPolicy] = None
     #: anti-entropy catch-up tuning for the rejoin path
     catchup: Optional[CatchupPolicy] = None
+    #: elastic membership: escalate a persistently-suspected crash-stopped
+    #: site into an eviction after this long (None = never auto-evict)
+    auto_evict_after_ms: Optional[float] = None
+    #: view-change fence / eviction tunables (None = defaults)
+    membership_policy: Optional[MembershipPolicy] = None
     #: route all traffic through the frozen-message sanitizer
     #: (:mod:`repro.check.sanitizer`): every message is fingerprinted at
     #: send and verified at each delivery — any post-send mutation of
@@ -156,6 +162,8 @@ class RunResult:
     total_sim_events: int
     #: crash-recovery orchestrator (None when no crash machinery ran)
     crash_manager: Optional[CrashRecoveryManager] = None
+    #: elastic-membership orchestrator (None for static-membership runs)
+    view_manager: Optional[ViewManager] = None
 
     @property
     def final_log_sizes(self) -> list[int]:
@@ -200,9 +208,23 @@ def run_simulation(
     instrumented paths byte-identical to the untraced seed behavior,
     mirroring the ``fault_plan=None`` contract.
     """
+    # Elastic membership: the id space (capacity) covers every site that
+    # will ever exist this run, so the workload is generated for joiners
+    # too — their schedules simply start once they are admitted.
+    membership_events = (
+        config.fault_plan.membership if config.fault_plan is not None else ()
+    )
+    n_joins = sum(1 for ev in membership_events if isinstance(ev, JoinEvent))
+    capacity = config.n_sites + n_joins
+    churn = bool(membership_events) or config.auto_evict_after_ms is not None
+    if churn and isinstance(config.latency, PerPairLatency):
+        raise ValueError(
+            "PerPairLatency has a fixed delay matrix and cannot model "
+            "membership churn; use a sampled latency model"
+        )
     if workload is None:
         workload = generate_workload(
-            config.n_sites,
+            capacity,
             n_vars=config.n_vars,
             write_rate=config.write_rate,
             ops_per_process=config.ops_per_process,
@@ -211,9 +233,10 @@ def run_simulation(
             var_distribution=config.var_distribution,
             zipf_s=config.zipf_s,
         )
-    if workload.n_sites != config.n_sites:
+    if workload.n_sites != capacity:
         raise ValueError(
-            f"workload has {workload.n_sites} sites, config wants {config.n_sites}"
+            f"workload has {workload.n_sites} sites, config wants {capacity} "
+            f"({config.n_sites} initial + {n_joins} joiner(s))"
         )
     if workload.n_vars > config.n_vars:
         raise ValueError("workload touches more variables than the config declares")
@@ -282,13 +305,14 @@ def run_simulation(
 
     crash_manager: Optional[CrashRecoveryManager] = None
     planned_crashes = config.fault_plan.crashes if config.fault_plan else ()
-    if planned_crashes or config.checkpoint_interval_ms is not None:
-        if planned_crashes:
-            # a crash scheduled after the workload can ever end would
-            # stall quiescence (or silently test nothing); reject early
+    if planned_crashes or churn or config.checkpoint_interval_ms is not None:
+        if planned_crashes or membership_events:
+            # a crash or membership event scheduled after the workload
+            # can ever end would stall quiescence (or silently test
+            # nothing); reject early
             horizon = max(
                 (s.items[-1][0] for s in (workload.for_site(i)
-                                          for i in range(config.n_sites))
+                                          for i in range(workload.n_sites))
                  if len(s)),
                 default=0.0,
             )
@@ -300,25 +324,69 @@ def run_simulation(
             checkpoint_interval_ms=config.checkpoint_interval_ms,
             detector_policy=config.detector,
             catchup=config.catchup,
+            # eviction escalation chains onto detector suspicions
+            with_detector=(
+                True if config.auto_evict_after_ms is not None else None
+            ),
             collector=collector,
             tracer=tracer,
         )
+
+    view_manager: Optional[ViewManager] = None
+    if churn:
+
+        def protocol_factory(new_id: int) -> CausalProtocol:
+            # called after placement + network have grown to include
+            # new_id, so the per-site derived state is already correct
+            joiner_ctx = ProtocolContext(
+                site=new_id,
+                n_sites=network.n_sites,
+                placement=placement,
+                store=SiteStore(new_id, placement.vars_at(new_id)),
+                network=network,
+                sim=sim,
+                collector=collector,
+                size_model=config.size_model,
+                history=history,
+                tracer=tracer,
+            )
+            return create_protocol(config.protocol, joiner_ctx)
+
+        def site_factory(new_id: int, proto: CausalProtocol) -> Site:
+            return Site(proto, workload.for_site(new_id), sim,
+                        on_operation=on_operation, tracer=tracer)
+
+        view_manager = ViewManager(
+            sim, network, placement, protocols,
+            protocol_factory=protocol_factory,
+            site_factory=site_factory,
+            sites=sites,
+            crash_manager=crash_manager,
+            policy=config.membership_policy,
+        )
+        view_manager.schedule_plan(membership_events)
+        if config.auto_evict_after_ms is not None:
+            view_manager.enable_eviction(config.auto_evict_after_ms)
 
     for site in sites:
         site.start()
     end_time = sim.run()
 
     dead_forever: set[int] = set()
+    departed: set[int] = set()
     if crash_manager is not None:
         dead_forever = crash_manager.down_forever()
+        departed = set(crash_manager.departed)
         lost = crash_manager.lost_operations()
         if lost:
             collector.record_lost_ops(lost)
-    if config.strict and not dead_forever:
+    if config.strict and not dead_forever and not departed:
         # crash-stop runs are exempt: a dead-forever site strands its own
         # schedule, and live sites can be legitimately stuck on state
         # frozen inside the dead site's outbound queue (those operations
-        # are accounted as lost above); every other run — including full
+        # are accounted as lost above); a departed site exempts likewise —
+        # live sites may hold buffered updates depending on state that
+        # left with the victim; every other run — including full
         # crash-recovery plans — must finish and drain completely
         stuck_sites = [s.site_id for s in sites if not s.finished]
         if stuck_sites:
@@ -339,4 +407,5 @@ def run_simulation(
         sim_time_ms=end_time,
         total_sim_events=sim.processed_events,
         crash_manager=crash_manager,
+        view_manager=view_manager,
     )

@@ -180,6 +180,25 @@ class DurabilityLayer:
     def disk(self, site: int) -> SiteDisk:
         return self.disks[site]
 
+    def add_site(self, proto: "CausalProtocol", state: dict,
+                 now: float) -> SiteDisk:
+        """Elastic membership: give a joiner a disk seeded with ``state``.
+
+        ``state`` (the donor fork, or a fresh snapshot under partial
+        replication) becomes checkpoint zero, so the joiner is crash-
+        recoverable from the instant it is announced.  Disks stay
+        indexed by site id because joiner ids are allocated in order.
+        """
+        if not self._attached:
+            raise RuntimeError("durability layer not attached")
+        disk = SiteDisk(proto.site)
+        disk.install_checkpoint(state, now)
+        proto._wal = disk
+        if proto not in self.protocols:
+            self.protocols.append(proto)
+        self.disks.append(disk)
+        return disk
+
     # ------------------------------------------------------------------
     def _tick(self) -> None:
         self._tick_event = None
@@ -188,6 +207,8 @@ class DurabilityLayer:
         for proto, disk in zip(self.protocols, self.disks):
             if self.is_down(proto.site):
                 continue  # a crashed site cannot write its own disk
+            if proto._departed_status is not None:
+                continue  # a departed site's disk is frozen history
             if quiescent and not disk.wal:
                 continue  # nothing new since the last checkpoint
             disk.install_checkpoint(proto.snapshot(), now)

@@ -144,6 +144,10 @@ class CrashRecoveryManager:
         self.collector = collector
         self.tracer = tracer
         self.n = network.n_sites
+        #: elastic membership (wired by the view manager when churn is on)
+        self.view_manager = None
+        #: sites that left the view for good (left or evicted)
+        self.departed: set[int] = set()
         #: currently-down sites (ground truth)
         self.down: set[int] = set()
         self.crash_time: dict[int, float] = {}
@@ -221,6 +225,8 @@ class CrashRecoveryManager:
     def _plan_recover(self, site: int) -> None:
         self._plan_pending -= 1
         self._recovery_scheduled.discard(site)
+        if site in self.departed:
+            return  # evicted while down: the view moved on without it
         self.recover(site)
 
     # ------------------------------------------------------------------
@@ -228,6 +234,8 @@ class CrashRecoveryManager:
     # ------------------------------------------------------------------
     def crash(self, site: int) -> None:
         """Kill ``site`` now: volatile state is lost, durable state kept."""
+        if self.view_manager is not None:
+            self.view_manager.check_member(site)
         if site in self.down:
             raise RuntimeError(f"site {site} is already down")
         if self.net.is_paused(site):
@@ -259,6 +267,8 @@ class CrashRecoveryManager:
 
     def recover(self, site: int) -> None:
         """Restore ``site`` from disk, replay its WAL, start catch-up."""
+        if self.view_manager is not None:
+            self.view_manager.check_member(site)
         if site not in self.down:
             raise RuntimeError(f"site {site} is not down")
         now = self.sim.now
@@ -266,6 +276,12 @@ class CrashRecoveryManager:
         disk = self.durability.disk(site)
         checkpoint_age = self.crash_time[site] - disk.checkpoint_time
         proto.restore(disk.checkpoint)
+        if self.view_manager is not None:
+            # the view may have grown while the site was down (and the
+            # checkpoint may predate even earlier epochs): resize the
+            # restored metadata BEFORE replaying WAL records that can
+            # reference post-growth site ids
+            proto.on_view_change(self.view_manager.view)
         replayed = proto.replay(disk.wal)
         downtime = now - self.crash_time[site]
         self.down.discard(site)
@@ -300,8 +316,14 @@ class CrashRecoveryManager:
         self._responses[site] = {}
         self._catchup_round(site, self.catchup.round_interval_ms)
 
+    def _member_ids(self) -> Sequence[int]:
+        """Current member ids (the static range when churn is off)."""
+        if self.view_manager is not None:
+            return self.view_manager.view.members
+        return range(self.n)
+
     def _live_peers(self, site: int) -> list[int]:
-        return [p for p in range(self.n) if p != site and p not in self.down]
+        return [p for p in self._member_ids() if p != site and p not in self.down]
 
     def _catchup_round(self, site: int, interval: float) -> None:
         if site in self.down or site not in self._catching_up:
@@ -441,6 +463,9 @@ class CrashRecoveryManager:
         """
         if self._catching_up or self._plan_pending:
             return False
+        if self.view_manager is not None and self.view_manager.busy():
+            return False
+        members = self._member_ids()
         det = self.detector
         if det is not None:
             inj = self.net.faults
@@ -448,10 +473,10 @@ class CrashRecoveryManager:
             forever = (
                 inj.unhealed_partitions(now) if inj is not None else []
             )
-            for o in range(self.n):
+            for o in members:
                 if o in self.down:
                     continue
-                for s in range(self.n):
+                for s in members:
                     if s == o or s in self.down:
                         continue
                     cut = (inj is not None
@@ -479,7 +504,7 @@ class CrashRecoveryManager:
             for d in sorted(self.down):
                 if self.transport.unacked_to(d, from_live_only=True,
                                              down=self.down):
-                    for src in range(self.n):
+                    for src in members:
                         if src in self.down:
                             continue
                         ch = self.transport._channels.get((src, d))
@@ -489,7 +514,9 @@ class CrashRecoveryManager:
             if self.transport.unacked_between_live(self.down):
                 return False
         if self.sites is not None:
-            dead_forever = self.down_forever()
+            # departed sites count like dead-forever ones: a live site
+            # blocked on a fetch into an evicted replica can never finish
+            dead_forever = self.down_forever() | self.departed
             for site in self.sites:
                 if site.site_id in self.down or site.finished:
                     continue
@@ -501,15 +528,27 @@ class CrashRecoveryManager:
         return True
 
     def lost_operations(self) -> int:
-        """Operations that can never complete (crash-stop accounting)."""
+        """Operations that can never complete (crash-stop accounting).
+
+        Covers crash-stopped sites, live sites stranded on a fetch into
+        a dead-forever or departed site, and the unexecuted remainder of
+        an *evicted* site's schedule (a graceful leave voids its
+        remaining schedule by choice, so it is not counted as lost).
+        """
         if self.sites is None:
             return 0
         lost = 0
-        dead_forever = self.down_forever()
+        dead_forever = self.down_forever() | self.departed
         for site in self.sites:
+            sid = site.site_id
+            if sid in self.departed:
+                if (self.view_manager is not None
+                        and self.view_manager.membership_status(sid) == "evicted"):
+                    lost += len(site.schedule) - site.completed_ops
+                continue
             if site.finished:
                 continue
-            if site.site_id in dead_forever or (
+            if sid in dead_forever or (
                 dead_forever and site.protocol._fetches
             ):
                 lost += len(site.schedule) - site.completed_ops
@@ -521,6 +560,43 @@ class CrashRecoveryManager:
         self.durability.wake()
         if self.detector is not None:
             self.detector.wake()
+
+    # ------------------------------------------------------------------
+    # elastic membership (see repro.sim.membership)
+    # ------------------------------------------------------------------
+    def adopt_site(self, proto: "CausalProtocol") -> None:
+        """Take ownership of a joiner's protocol (id == len(protocols)).
+
+        The durability disk is installed separately via
+        :meth:`~repro.sim.checkpoint.DurabilityLayer.add_site`; the
+        joiner's :class:`~repro.sim.process.Site` is appended to
+        ``self.sites`` by the view manager once it exists.
+        """
+        if proto.site != len(self.protocols):
+            raise ValueError(
+                f"joiner id {proto.site} != next slot {len(self.protocols)}"
+            )
+        self.protocols.append(proto)
+        self.n = max(self.n, proto.site + 1)
+        if self.detector is not None:
+            det = self.detector
+            proto._liveness = (
+                lambda target, _self=proto.site: not det.suspects(_self, target)
+            )
+
+    def retire_site(self, site: int) -> None:
+        """Close the book on a departed site: it is neither down nor
+        recoverable, and no catch-up or detection accounting applies."""
+        self.departed.add(site)
+        self.down.discard(site)
+        self.crash_time.pop(site, None)
+        self._detected.discard(site)
+        self._recovery_scheduled.discard(site)
+        if site in self._catching_up:
+            self._catching_up.discard(site)
+            self._responses.pop(site, None)
+            self._catchup_started.pop(site, None)
+            self._catchup_rounds.pop(site, None)
 
 
 def install_crash_recovery(

@@ -60,10 +60,15 @@ class EventRecord:
     op_index: Optional[int] = None
     peer: Optional[int] = None
     detail: str = ""
+    #: destination site set of a write (WRITE_OP only).  Recorded at
+    #: write time because under elastic membership the placement later
+    #: in the run may disagree with the placement the write actually
+    #: used — the checker's apply-order condition needs the real one.
+    dests: Optional[tuple[int, ...]] = None
 
     def as_dict(self) -> dict:
         """Plain-dict view used by the JSON trace exporter."""
-        return {
+        out = {
             "kind": self.kind.value,
             "time": self.time,
             "site": self.site,
@@ -74,11 +79,16 @@ class EventRecord:
             "peer": self.peer,
             "detail": self.detail,
         }
+        # omitted when absent so pre-membership trace files stay stable
+        if self.dests is not None:
+            out["dests"] = list(self.dests)
+        return out
 
     @staticmethod
     def from_dict(data: dict) -> "EventRecord":
         """Inverse of :meth:`as_dict` (trace replay)."""
         wid = data.get("write_id")
+        dests = data.get("dests")
         return EventRecord(
             kind=EventKind(data["kind"]),
             time=float(data["time"]),
@@ -89,4 +99,5 @@ class EventRecord:
             op_index=data.get("op_index"),
             peer=data.get("peer"),
             detail=data.get("detail", ""),
+            dests=tuple(dests) if dests is not None else None,
         )

@@ -97,6 +97,11 @@ class FailureDetector:
         self.collector = collector
         self.tracer = tracer
         self.n = network.n_sites
+        # elastic membership: who currently beats and watches; the view
+        # manager repoints this at the live view when churn is enabled
+        self.members_fn: Callable[[], tuple[int, ...]] = (
+            lambda: tuple(range(self.net.n_sites))
+        )
         self._last_heard: dict[tuple[int, int], float] = {}
         self._timeout: dict[tuple[int, int], float] = {}
         self.suspected: set[tuple[int, int]] = set()
@@ -119,8 +124,9 @@ class FailureDetector:
         self._started = True
         now = self.sim.now
         base = self.policy.timeout_ms
-        for o in range(self.n):
-            for s in range(self.n):
+        members = self.members_fn()
+        for o in members:
+            for s in members:
                 if o != s:
                     self._last_heard[(o, s)] = now
                     self._timeout[(o, s)] = base
@@ -139,20 +145,21 @@ class FailureDetector:
             return
         now = self.sim.now
         size = self.policy.heartbeat_size_bytes
-        for origin in range(self.n):
+        members = self.members_fn()
+        for origin in members:
             if self.is_down(origin):
                 continue  # the dead don't beat
-            for dst in range(self.n):
+            for dst in members:
                 if dst == origin:
                     continue
                 self.heartbeats_sent += 1
                 if self.collector is not None:
                     self.collector.record_heartbeat()
                 self.net._transmit_raw(origin, dst, HeartbeatPacket(origin), size)
-        for observer in range(self.n):
+        for observer in members:
             if self.is_down(observer):
                 continue
-            for subject in range(self.n):
+            for subject in members:
                 if subject == observer or (observer, subject) in self.suspected:
                     continue
                 pair = (observer, subject)
@@ -215,12 +222,43 @@ class FailureDetector:
         a flaky channel)."""
         now = self.sim.now
         base = self.policy.timeout_ms
-        for other in range(self.n):
+        for other in self.members_fn():
             if other == site:
                 continue
             self._last_heard[(site, other)] = now
             self._timeout[(site, other)] = base
             self._timeout[(other, site)] = base
+
+    # ------------------------------------------------------------------
+    # elastic membership (see repro.sim.membership)
+    # ------------------------------------------------------------------
+    def add_member(self, site: int) -> None:
+        """Seed pair state for a joiner: full grace period both ways.
+
+        Call *after* the view already includes ``site`` so the next tick
+        finds every pair initialized.
+        """
+        now = self.sim.now
+        base = self.policy.timeout_ms
+        self.n = max(self.n, site + 1)
+        for other in self.members_fn():
+            if other == site:
+                continue
+            for pair in ((site, other), (other, site)):
+                self._last_heard[pair] = now
+                self._timeout[pair] = base
+
+    def remove_member(self, site: int) -> None:
+        """Drop all pair state involving a departed site.
+
+        Suspicions of it (or by it) are void, not false positives —
+        the departure is a membership event, not a detector outcome.
+        """
+        for pair in [p for p in sorted(self.suspected) if site in p]:
+            self.suspected.discard(pair)
+        for store in (self._last_heard, self._timeout):
+            for pair in [p for p in store if site in p]:
+                del store[pair]
 
     def wake(self) -> None:
         """Restart the tick after a quiescent stop (and re-baseline:

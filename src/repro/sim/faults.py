@@ -20,9 +20,10 @@ exactly-once FIFO channels the protocols require lives in
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, NamedTuple, Optional, Sequence
+from typing import Iterable, Mapping, NamedTuple, Optional, Sequence, Union
 
 import numpy as np
 
@@ -30,10 +31,13 @@ __all__ = [
     "ChannelFaults",
     "Partition",
     "CrashEvent",
+    "JoinEvent",
+    "LeaveEvent",
     "FaultPlan",
     "FaultDecision",
     "FaultInjector",
     "seeded_crashes",
+    "seeded_churn",
 ]
 
 
@@ -125,6 +129,45 @@ class CrashEvent:
         return not math.isfinite(self.recover_ms)
 
 
+@dataclass(frozen=True)
+class JoinEvent:
+    """A new site joins the cluster at ``at_ms``.
+
+    The joiner's id is assigned by the view manager (next never-used
+    id), so the event only carries a time.  Under full replication the
+    joiner is bootstrapped from a live donor's drained snapshot; under
+    partial replication it starts with an empty replica set.
+    """
+
+    at_ms: float
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0.0:
+            raise ValueError(f"join time must be >= 0, got {self.at_ms}")
+
+
+@dataclass(frozen=True)
+class LeaveEvent:
+    """Site ``site`` leaves the cluster gracefully at ``at_ms``.
+
+    A leave drains in-flight deliveries, hands off solely-held replicas
+    to a live successor, and retires the site.  Leaving is only possible
+    while the site is up; a crash-stopped leaver escalates to eviction.
+    """
+
+    site: int
+    at_ms: float
+
+    def __post_init__(self) -> None:
+        if self.site < 0:
+            raise ValueError(f"leave site must be >= 0, got {self.site}")
+        if self.at_ms < 0.0:
+            raise ValueError(f"leave time must be >= 0, got {self.at_ms}")
+
+
+MembershipEvent = Union[JoinEvent, LeaveEvent]
+
+
 def seeded_crashes(
     n_sites: int,
     *,
@@ -154,6 +197,42 @@ def seeded_crashes(
     return tuple(events)
 
 
+def seeded_churn(
+    n_sites: int,
+    *,
+    n_joins: int = 1,
+    n_leaves: int = 1,
+    window_ms: tuple[float, float] = (500.0, 3000.0),
+    seed: int = 0,
+    avoid: Iterable[int] = (),
+) -> tuple[MembershipEvent, ...]:
+    """Draw a random membership-churn schedule from a seed.
+
+    Leave victims are distinct initial sites outside ``avoid`` (pass the
+    crash victims of a composed plan so a site is never asked to both
+    crash and leave); join/leave instants fall uniformly in
+    ``window_ms``.  The result composes with drop/dup/partition/crash
+    plans via ``FaultPlan.build(membership=...)``.
+    """
+    avoid_set = {int(s) for s in avoid}
+    candidates = [s for s in range(n_sites) if s not in avoid_set]
+    if n_leaves > len(candidates):
+        raise ValueError(
+            f"cannot pick {n_leaves} distinct leavers from {len(candidates)} "
+            f"eligible sites (n_sites={n_sites}, avoid={sorted(avoid_set)})"
+        )
+    if n_leaves >= n_sites:
+        raise ValueError("at least one initial site must remain a member")
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    events: list[MembershipEvent] = []
+    for _ in range(n_joins):
+        events.append(JoinEvent(float(rng.uniform(*window_ms))))
+    victims = rng.choice(len(candidates), size=n_leaves, replace=False)
+    for idx in sorted(int(v) for v in victims):
+        events.append(LeaveEvent(candidates[idx], float(rng.uniform(*window_ms))))
+    return tuple(sorted(events, key=lambda e: e.at_ms))
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Declarative description of everything that goes wrong in a run.
@@ -168,6 +247,7 @@ class FaultPlan:
     channels: tuple[tuple[tuple[int, int], ChannelFaults], ...] = ()
     partitions: tuple[Partition, ...] = ()
     crashes: tuple[CrashEvent, ...] = ()
+    membership: tuple[MembershipEvent, ...] = ()
 
     @classmethod
     def build(
@@ -176,12 +256,14 @@ class FaultPlan:
         channels: Optional[Mapping[tuple[int, int], ChannelFaults]] = None,
         partitions: Sequence[Partition] = (),
         crashes: Sequence[CrashEvent] = (),
+        membership: Sequence[MembershipEvent] = (),
     ) -> "FaultPlan":
         return cls(
             default=default if default is not None else ChannelFaults(),
             channels=tuple(sorted((channels or {}).items())),
             partitions=tuple(partitions),
             crashes=tuple(crashes),
+            membership=tuple(membership),
         )
 
     @classmethod
@@ -193,12 +275,14 @@ class FaultPlan:
         spike_ms: tuple[float, float] = (100.0, 500.0),
         partitions: Sequence[Partition] = (),
         crashes: Sequence[CrashEvent] = (),
+        membership: Sequence[MembershipEvent] = (),
     ) -> "FaultPlan":
         """The common case: one fault profile applied to every channel."""
         return cls.build(
             default=ChannelFaults(drop_rate, dup_rate, spike_rate, spike_ms),
             partitions=partitions,
             crashes=crashes,
+            membership=membership,
         )
 
     def validate(self, horizon_ms: Optional[float] = None) -> None:
@@ -245,6 +329,30 @@ class FaultPlan:
                         f"the stop condition ({horizon_ms}ms) and can never "
                         f"be observed — move it earlier or drop it"
                     )
+        leavers: set[int] = set()
+        for ev in self.membership:
+            if not isinstance(ev, (JoinEvent, LeaveEvent)):
+                raise ValueError(f"unknown membership event {ev!r}")
+            if isinstance(ev, LeaveEvent):
+                if ev.site in leavers:
+                    raise ValueError(
+                        f"site {ev.site} is scheduled to leave twice — a "
+                        f"departed id is never reused"
+                    )
+                leavers.add(ev.site)
+            if horizon_ms is not None and ev.at_ms > horizon_ms:
+                raise ValueError(
+                    f"membership event {ev!r} starts after the stop "
+                    f"condition ({horizon_ms}ms) and can never be observed"
+                )
+        crash_stoppers = {c.site for c in self.crashes if c.is_crash_stop}
+        doomed = leavers & crash_stoppers
+        if doomed:
+            raise ValueError(
+                f"sites {sorted(doomed)} are scheduled to both crash-stop "
+                f"and leave — a crash-stopped site cannot drain; rely on "
+                f"eviction instead"
+            )
 
     def faults_for(self, src: int, dst: int) -> ChannelFaults:
         for key, faults in self.channels:
@@ -255,6 +363,109 @@ class FaultPlan:
     def heal_times(self) -> list[float]:
         """Finite heal timestamps, sorted and deduplicated."""
         return sorted({p.heal_ms for p in self.partitions if math.isfinite(p.heal_ms)})
+
+    # ------------------------------------------------------------------
+    # serialization — CI chaos artifacts must reproduce exactly
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-safe dict view (``inf`` windows encode as ``None``)."""
+
+        def faults_dict(cf: ChannelFaults) -> dict:
+            return {
+                "drop_rate": cf.drop_rate,
+                "dup_rate": cf.dup_rate,
+                "spike_rate": cf.spike_rate,
+                "spike_ms": list(cf.spike_ms),
+            }
+
+        def finite(x: float) -> Optional[float]:
+            return x if math.isfinite(x) else None
+
+        membership = []
+        for ev in self.membership:
+            if isinstance(ev, JoinEvent):
+                membership.append({"kind": "join", "at_ms": ev.at_ms})
+            else:
+                membership.append(
+                    {"kind": "leave", "site": ev.site, "at_ms": ev.at_ms}
+                )
+        return {
+            "default": faults_dict(self.default),
+            "channels": [
+                {"src": src, "dst": dst, "faults": faults_dict(cf)}
+                for (src, dst), cf in self.channels
+            ],
+            "partitions": [
+                {
+                    "group": sorted(p.group),
+                    "start_ms": p.start_ms,
+                    "heal_ms": finite(p.heal_ms),
+                }
+                for p in self.partitions
+            ],
+            "crashes": [
+                {
+                    "site": c.site,
+                    "at_ms": c.at_ms,
+                    "recover_ms": finite(c.recover_ms),
+                }
+                for c in self.crashes
+            ],
+            "membership": membership,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultPlan":
+        """Inverse of :meth:`as_dict`."""
+
+        def faults(d: Mapping) -> ChannelFaults:
+            return ChannelFaults(
+                drop_rate=float(d.get("drop_rate", 0.0)),
+                dup_rate=float(d.get("dup_rate", 0.0)),
+                spike_rate=float(d.get("spike_rate", 0.0)),
+                spike_ms=tuple(d.get("spike_ms", (100.0, 500.0))),
+            )
+
+        def window(x: Optional[float]) -> float:
+            return math.inf if x is None else float(x)
+
+        membership: list[MembershipEvent] = []
+        for ev in data.get("membership", ()):
+            if ev["kind"] == "join":
+                membership.append(JoinEvent(float(ev["at_ms"])))
+            elif ev["kind"] == "leave":
+                membership.append(LeaveEvent(int(ev["site"]), float(ev["at_ms"])))
+            else:
+                raise ValueError(f"unknown membership event kind {ev['kind']!r}")
+        return cls.build(
+            default=faults(data.get("default", {})),
+            channels={
+                (int(ch["src"]), int(ch["dst"])): faults(ch["faults"])
+                for ch in data.get("channels", ())
+            },
+            partitions=[
+                Partition(
+                    p["group"], float(p.get("start_ms", 0.0)),
+                    window(p.get("heal_ms")),
+                )
+                for p in data.get("partitions", ())
+            ],
+            crashes=[
+                CrashEvent(
+                    int(c["site"]), float(c["at_ms"]), window(c.get("recover_ms"))
+                )
+                for c in data.get("crashes", ())
+            ],
+            membership=membership,
+        )
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """Serialize for a CI chaos artifact; round-trips exactly."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
 
 
 class FaultDecision(NamedTuple):

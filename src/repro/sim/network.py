@@ -230,6 +230,13 @@ class Network:
         self._held: dict[int, list[tuple[int, object]]] = {}
         # crash-recovery: packets to a down site are dropped at the wire
         self._down: set[int] = set()
+        # elastic membership: departed sites never come back — traffic
+        # addressed to them is dropped (counted), sends to them raise
+        self._departed: set[int] = set()
+        self.departed_drops = 0
+        # seed-path app messages scheduled but not yet handed to the
+        # receiver; the view-change fence drains on this reaching zero
+        self._app_in_flight = 0
         # chaos stack (None = the default reliable path, zero overhead)
         self.collector = collector
         # observability (None = untraced, zero overhead)
@@ -278,11 +285,13 @@ class Network:
         if held and site not in self._receivers:
             raise RuntimeError(f"no receiver registered for site {site}")
         for src, message in held:
-            self.sim.schedule(
-                0.0,
-                lambda src=src, message=message: self._deliver_app(src, site, message),
-                label=f"resume flush ->{site}",
-            )
+            self._app_in_flight += 1
+
+            def _flush(src: int = src, message: object = message) -> None:
+                self._app_in_flight -= 1
+                self._deliver_app(src, site, message)
+
+            self.sim.schedule(0.0, _flush, label=f"resume flush ->{site}")
 
     def is_paused(self, site: int) -> bool:
         return site in self._paused
@@ -316,6 +325,48 @@ class Network:
     def held_count(self, site: int) -> int:
         """Messages currently held for a paused site."""
         return len(self._held.get(site, ()))
+
+    # ------------------------------------------------------------------
+    # elastic membership (see repro.sim.membership)
+    # ------------------------------------------------------------------
+    def add_site(self) -> int:
+        """Admit one new site; returns its (stable, never-reused) id.
+
+        Only size-free latency models can admit sites: a fixed n x n
+        delay matrix has no row for the newcomer.
+        """
+        if isinstance(self.latency, PerPairLatency):
+            from .membership import MembershipError
+
+            raise MembershipError(
+                "PerPairLatency has a fixed delay matrix and cannot "
+                "admit new sites; use a sampled latency model for churn"
+            )
+        new_id = self.n_sites
+        self.n_sites += 1
+        return new_id
+
+    def retire_site(self, site: int) -> None:
+        """Mark ``site`` departed: its id stays allocated forever, but
+        all traffic involving it is dropped (counted) and sends *to* it
+        raise :class:`~repro.sim.membership.DepartedSiteError`."""
+        self._check_site(site)
+        self._departed.add(site)
+        self._paused.discard(site)
+        self.departed_drops += len(self._held.pop(site, ()))
+        self._down.discard(site)
+
+    def is_departed(self, site: int) -> bool:
+        return site in self._departed
+
+    def held_for(self, site: int) -> int:
+        """Alias of :meth:`held_count` used by the view-change fence."""
+        return len(self._held.get(site, ()))
+
+    @property
+    def app_messages_in_flight(self) -> int:
+        """Seed-path app messages scheduled but not yet delivered."""
+        return self._app_in_flight
 
     # ------------------------------------------------------------------
     def register(self, site: int, receiver: Callable[[int, object], None]) -> None:
@@ -372,6 +423,16 @@ class Network:
         """
         self._check_site(src)
         self._check_site(dst)
+        if src in self._departed:
+            # a straggler timer or scheduled event from a retired site;
+            # its output is irrelevant by construction (it was drained
+            # before departure), so drop rather than crash the run
+            self.departed_drops += 1
+            return None
+        if dst in self._departed:
+            from .membership import DepartedSiteError
+
+            raise DepartedSiteError(dst, "departed")
         if self.transport is not None:
             return self.transport.send(src, dst, message, size_bytes)
         departure = self.sim.now
@@ -396,13 +457,18 @@ class Network:
             label = self._labels[key] = f"deliver {src}->{dst}"
 
         def _deliver() -> None:
+            self._app_in_flight -= 1
             self._deliver_app(src, dst, message)
 
+        self._app_in_flight += 1
         self.sim.schedule_at(delivery, _deliver, label=label)
         return delivery
 
     def _deliver_app(self, src: int, dst: int, message: object) -> None:
         """Hand a message up to the application, honoring paused sites."""
+        if dst in self._departed:
+            self.departed_drops += 1
+            return
         if dst in self._paused:
             self._held[dst].append((src, message))
             return
@@ -495,6 +561,9 @@ class Network:
         site rejoins.  Infra packet handlers (heartbeats, sync) are
         still notified with ``dead=True`` for their bookkeeping.
         """
+        if dst in self._departed:
+            self.departed_drops += 1
+            return
         if dst in self._down:
             if self.collector is not None:
                 self.collector.record_dead_site_drop()

@@ -61,6 +61,10 @@ class Site:
         self.completed_ops = 0
         self._started = False
         self.crashed = False
+        #: view-change fence: while held, no new operation may start
+        self.held = False
+        #: elastic membership: a retired site never runs again
+        self.retired = False
         #: handle of the armed next-operation event (crash cancels it)
         self._op_event = None
         #: index of an operation currently blocked on a remote read
@@ -80,8 +84,11 @@ class Site:
         self._started = True
         if not self.finished:
             first_time, _ = self.schedule.items[0]
+            # a joiner starts mid-run: planned times before its admission
+            # collapse to "as soon as possible"
             self._op_event = self.sim.schedule_at(
-                first_time, self._execute_next, label=f"site{self.site_id} op0"
+                max(first_time, self.sim.now), self._execute_next,
+                label=f"site{self.site_id} op0",
             )
 
     # ------------------------------------------------------------------
@@ -114,12 +121,54 @@ class Site:
         if self._current_index is not None:
             self._next_index = self._current_index
             self._current_index = None
+        if self.held:
+            return  # release() re-arms once the view change completes
         planned, _ = self.schedule.items[self._next_index]
         start = max(planned, self.sim.now)
         self._op_event = self.sim.schedule_at(
             start, self._execute_next,
             label=f"site{self.site_id} op{self._next_index} (rejoin)",
         )
+
+    # ------------------------------------------------------------------
+    # elastic membership (see repro.sim.membership)
+    # ------------------------------------------------------------------
+    def hold(self) -> None:
+        """View-change fence: stop starting new operations.
+
+        An armed (not yet fired) operation is un-scheduled; an operation
+        already blocked on a remote read stays blocked — the fence does
+        not wait for fetches (see ``CausalProtocol.buffered_count``).
+        """
+        if self.held:
+            return
+        self.held = True
+        if self._op_event is not None:
+            self._op_event.cancel()
+            self._op_event = None
+
+    def release(self) -> None:
+        """Lift the fence and re-arm the next operation, if any."""
+        if not self.held:
+            return
+        self.held = False
+        if (not self._started or self.finished or self.crashed
+                or self.retired or self._current_index is not None
+                or self._op_event is not None):
+            return
+        planned, _ = self.schedule.items[self._next_index]
+        self._op_event = self.sim.schedule_at(
+            max(planned, self.sim.now), self._execute_next,
+            label=f"site{self.site_id} op{self._next_index}",
+        )
+
+    def retire(self) -> None:
+        """The site left the view: its remaining schedule is void."""
+        self.retired = True
+        self.finished = True
+        if self._op_event is not None:
+            self._op_event.cancel()
+            self._op_event = None
 
     # ------------------------------------------------------------------
     def _execute_next(self) -> None:
@@ -175,6 +224,8 @@ class Site:
         if self._next_index >= len(self.schedule):
             self.finished = True
             return
+        if self.held:
+            return  # release() re-arms once the view change completes
         planned, _ = self.schedule.items[self._next_index]
         start = max(planned, self.sim.now)
         self._op_event = self.sim.schedule_at(

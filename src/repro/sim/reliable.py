@@ -387,6 +387,24 @@ class ReliableTransport:
             if dst == site:
                 ch._reorder.clear()
 
+    def forget_site(self, site: int) -> None:
+        """Elastic membership: ``site`` left the view for good.
+
+        Every channel involving it is torn down — timers cancelled,
+        unacked queues and reorder buffers discarded (the view-change
+        fence already drained live traffic; whatever remains was
+        addressed to or queued at the departed site and is void),
+        suspicion pauses and recovery clocks cleared.
+        """
+        for key in [k for k in self._channels if site in k]:
+            ch = self._channels.pop(key)
+            ch._cancel_timer()
+            ch.unacked.clear()
+            ch._reorder.clear()
+        # simcheck: ignore[SIM003] -- set-to-set filter; construction order is never observable
+        self.paused_pairs = {p for p in self.paused_pairs if site not in p}
+        self._recovering.pop(site, None)
+
     def on_site_recover(self, site: int) -> None:
         """Rejoin: the revived site flushes its own durable backlog."""
         for (src, dst), ch in self._channels.items():

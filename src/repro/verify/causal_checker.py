@@ -185,7 +185,14 @@ def check_causal_consistency(
                 for w2, i2 in write_index.items():
                     if not (mask >> i2 & 1):
                         continue
-                    if not placement.is_replicated_at(g.nodes[w2]["var"], site):
+                    w2_dests = g.nodes[w2].get("dests")
+                    if w2_dests is not None:
+                        # recorded at write time — authoritative under
+                        # elastic membership, where the final placement
+                        # may disagree with the one the write used
+                        if site not in w2_dests:
+                            continue
+                    elif not placement.is_replicated_at(g.nodes[w2]["var"], site):
                         continue  # not destined here; nothing to order
                     if w2 not in applied_set:
                         violations.append(

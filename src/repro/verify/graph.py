@@ -54,7 +54,10 @@ def causality_graph(history: HistoryRecorder) -> nx.DiGraph:
         per_site_count[ev.site] = k + 1
         if ev.kind is EventKind.WRITE_OP:
             node = write_node(*ev.write_id)  # type: ignore[misc]
-            g.add_node(node, site=ev.site, var=ev.var, kind="w", value=ev.value)
+            g.add_node(
+                node, site=ev.site, var=ev.var, kind="w", value=ev.value,
+                dests=ev.dests,
+            )
         else:
             node = read_node(ev.site, k)
             g.add_node(

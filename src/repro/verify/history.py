@@ -39,6 +39,7 @@ class HistoryRecorder:
         value: object,
         write_id: WriteId,
         op_index: Optional[int] = None,
+        dests: Optional[Iterable[int]] = None,
     ) -> None:
         if not self.enabled:
             return
@@ -51,6 +52,7 @@ class HistoryRecorder:
                 value=value,
                 write_id=write_id.as_tuple(),
                 op_index=op_index,
+                dests=tuple(sorted(dests)) if dests is not None else None,
             )
         )
 
