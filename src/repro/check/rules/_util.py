@@ -42,10 +42,12 @@ def is_hot_path(display_path: str) -> bool:
     ``core/`` and ``sim/`` execute inside the event loop; ``verify/``
     must report identical verdicts across runs to be a usable oracle;
     ``perf/`` drives the regression-gated benchmark runs, so an
-    accidental O(n^2) there skews the numbers the gate compares.
+    accidental O(n^2) there skews the numbers the gate compares;
+    ``obs/`` records from inside the same event loop and its exporters
+    promise byte-identical same-seed dumps.
     """
     norm = display_path.replace("\\", "/")
     return any(
         f"repro/{d}/" in norm or norm.startswith(f"{d}/")
-        for d in ("core", "sim", "verify", "perf")
+        for d in ("core", "sim", "verify", "perf", "obs")
     )

@@ -11,6 +11,8 @@ Subcommands:
 * ``advise``     — replication recommendation for a workload profile;
 * ``check``      — run a simulation with history recording and verify
   causal consistency;
+* ``metrics``    — run with the metrics registry on (Prometheus/JSON
+  exports + metadata-byte ledger), summarize a dump, or diff two dumps;
 * ``list``       — protocols and experiments available.
 """
 
@@ -95,6 +97,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--latency", default="uniform", choices=sorted(_LATENCIES))
     run_p.add_argument("--check", action="store_true",
                        help="record history and verify causal consistency")
+    run_p.add_argument("--metrics-dir", default=None, metavar="DIR",
+                       help="enable the metrics registry and write "
+                            "metrics.prom/.json/.jsonl into DIR")
     _add_fault_args(run_p)
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -174,7 +179,45 @@ def build_parser() -> argparse.ArgumentParser:
     check_p.add_argument("--ops", type=int, default=100)
     check_p.add_argument("--seed", type=int, default=0)
     check_p.add_argument("--latency", default="adversarial", choices=sorted(_LATENCIES))
+    check_p.add_argument("--metrics-dir", default=None, metavar="DIR",
+                         help="enable the metrics registry and write "
+                              "metrics.prom/.json/.jsonl into DIR")
     _add_fault_args(check_p)
+
+    met_p = sub.add_parser(
+        "metrics", help="run with metrics on, summarize or diff metric dumps")
+    met_sub = met_p.add_subparsers(dest="metrics_command", required=True)
+
+    met_run_p = met_sub.add_parser(
+        "run", help="run one simulation with the full metrics registry, "
+                    "exporting Prometheus text + JSON snapshots")
+    met_run_p.add_argument("outdir", metavar="DIR")
+    met_run_p.add_argument("--protocol", default="opt-track",
+                           choices=protocol_names())
+    met_run_p.add_argument("-n", "--sites", type=int, default=6)
+    met_run_p.add_argument("-q", "--vars", type=int, default=20)
+    met_run_p.add_argument("-w", "--write-rate", type=float, default=0.5)
+    met_run_p.add_argument("--ops", type=int, default=100)
+    met_run_p.add_argument("--seed", type=int, default=0)
+    met_run_p.add_argument("--latency", default="uniform",
+                           choices=sorted(_LATENCIES))
+    met_run_p.add_argument("--heartbeat-ms", type=float, default=1000.0,
+                           metavar="MS",
+                           help="live heartbeat period on stderr (0 = off)")
+    _add_fault_args(met_run_p)
+
+    met_sum_p = met_sub.add_parser(
+        "summarize", help="render a metrics dump's metadata-byte ledger")
+    met_sum_p.add_argument("metrics", metavar="METRICS_JSON",
+                           help="metrics.json (or .jsonl) written by "
+                                "`repro metrics run`")
+    met_sum_p.add_argument("--window", default="measured",
+                           choices=("measured", "lifetime"))
+
+    met_diff_p = met_sub.add_parser(
+        "diff", help="numeric per-series diff of two metrics dumps")
+    met_diff_p.add_argument("metrics_a", metavar="METRICS_A")
+    met_diff_p.add_argument("metrics_b", metavar="METRICS_B")
 
     sub.add_parser("list", help="list protocols and experiments")
     return parser
@@ -329,10 +372,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         checkpoint_interval_ms=args.checkpoint_interval,
         auto_evict_after_ms=args.auto_evict,
     )
-    result = run_simulation(cfg)
+    registry = _registry_from_args(args)
+    result = run_simulation(cfg, registry=registry)
     print(format_kv(result.summary()))
     _print_crash_stats(result)
     _print_membership_stats(result)
+    if registry is not None:
+        _write_metrics_outputs(registry, args.metrics_dir, cfg)
     if args.check:
         report = check_causal_consistency(result.history, result.placement)
         print(f"\ncausal consistency: {'OK' if report.ok else 'VIOLATED'} "
@@ -500,6 +546,142 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _registry_from_args(args: argparse.Namespace):
+    """A fresh registry when ``--metrics-dir`` was given, else ``None``
+    (the zero-overhead path)."""
+    if getattr(args, "metrics_dir", None) is None:
+        return None
+    from .obs.metrics import MetricsRegistry
+
+    return MetricsRegistry()
+
+
+def _write_metrics_outputs(registry, outdir, cfg: SimulationConfig) -> None:
+    """Export ``metrics.prom`` / ``metrics.json`` / ``metrics.jsonl``."""
+    from pathlib import Path
+
+    from .obs.export import (
+        append_snapshot_jsonl,
+        write_prometheus,
+        write_snapshot_json,
+    )
+
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "protocol": cfg.protocol,
+        "n_sites": cfg.n_sites,
+        "ops_per_process": cfg.ops_per_process,
+        "seed": cfg.seed,
+    }
+    write_prometheus(registry, out / "metrics.prom")
+    write_snapshot_json(registry, out / "metrics.json", meta=meta)
+    with open(out / "metrics.jsonl", "w") as fh:
+        append_snapshot_jsonl(registry, fh, meta=meta)
+    print(f"metrics written to {out} (metrics.prom, metrics.json, "
+          f"metrics.jsonl)")
+
+
+def _load_metrics_snapshot(path: str) -> dict:
+    """Load a metrics dump: a plain snapshot JSON or the last snapshot
+    line of a JSONL stream."""
+    import json
+    from pathlib import Path
+
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise SystemExit(f"cannot read metrics dump {path!r}: {exc}")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        data = None
+    if isinstance(data, dict):
+        return data
+    snap = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(obj, dict) and obj.get("type", "snapshot") == "snapshot":
+            snap = obj
+    if snap is None:
+        raise SystemExit(f"no metrics snapshot found in {path!r}")
+    return snap
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _cmd_metrics_run,
+        "summarize": _cmd_metrics_summarize,
+        "diff": _cmd_metrics_diff,
+    }
+    return handlers[args.metrics_command](args)
+
+
+def _cmd_metrics_run(args: argparse.Namespace) -> int:
+    from .obs.export import HeartbeatReporter, ledger_table
+    from .obs.metrics import MetricsRegistry
+
+    cfg = SimulationConfig(
+        protocol=args.protocol, n_sites=args.sites, n_vars=args.vars,
+        write_rate=args.write_rate, ops_per_process=args.ops,
+        seed=args.seed, latency=_LATENCIES[args.latency](),
+        fault_plan=_fault_plan_from_args(args),
+        fault_seed=args.fault_seed,
+        checkpoint_interval_ms=args.checkpoint_interval,
+        auto_evict_after_ms=args.auto_evict,
+    )
+    registry = MetricsRegistry()
+    heartbeat = None
+    if args.heartbeat_ms > 0:
+        heartbeat = HeartbeatReporter(every_ms=args.heartbeat_ms,
+                                      registry=registry)
+    result = run_simulation(cfg, registry=registry, heartbeat=heartbeat)
+    _write_metrics_outputs(registry, args.outdir, cfg)
+    problems = registry.ledger.crosscheck(result.collector)
+    print("ledger crosscheck vs collector: "
+          + ("OK" if not problems else "MISMATCH"))
+    for p in problems:
+        print(f"  {p}")
+    print()
+    print("metadata bytes by component (measured window):")
+    print(ledger_table(registry.ledger))
+    return 1 if problems else 0
+
+
+def _cmd_metrics_summarize(args: argparse.Namespace) -> int:
+    from .obs.export import ledger_table
+    from .obs.ledger import MetadataLedger
+
+    snap = _load_metrics_snapshot(args.metrics)
+    meta = snap.get("meta", {})
+    if meta:
+        print("meta: " + ", ".join(f"{k}={v}"
+                                   for k, v in sorted(meta.items())))
+    ledger = MetadataLedger.from_dict(snap.get("ledger", {}))
+    print(f"metadata bytes by component ({args.window} window):")
+    print(ledger_table(ledger, window=args.window))
+    return 0
+
+
+def _cmd_metrics_diff(args: argparse.Namespace) -> int:
+    from .obs.export import diff_snapshots
+
+    lines = diff_snapshots(_load_metrics_snapshot(args.metrics_a),
+                           _load_metrics_snapshot(args.metrics_b))
+    if not lines:
+        print("metric dumps are identical")
+        return 0
+    for line in lines:
+        print(line)
+    return 0
+
+
 def _cmd_verify_trace(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -542,7 +724,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
         checkpoint_interval_ms=args.checkpoint_interval,
         auto_evict_after_ms=args.auto_evict,
     )
-    result = run_simulation(cfg)
+    registry = _registry_from_args(args)
+    result = run_simulation(cfg, registry=registry)
+    if registry is not None:
+        _write_metrics_outputs(registry, args.metrics_dir, cfg)
     report = check_causal_consistency(result.history, result.placement)
     status = "OK" if report.ok else "VIOLATED"
     print(f"{args.protocol}: causal consistency {status} "
@@ -616,6 +801,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analytic": _cmd_analytic,
         "crossover": _cmd_crossover,
         "check": _cmd_check,
+        "metrics": _cmd_metrics,
         "list": _cmd_list,
     }
     try:

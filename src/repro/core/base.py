@@ -49,6 +49,8 @@ from ..memory.replication import Placement
 from ..memory.store import SiteStore, WriteId
 from ..metrics.collector import MessageKind, MetricsCollector
 from ..metrics.sizing import SizeModel
+from ..obs.ledger import MetadataLedger
+from ..obs.metrics import Histogram, MetricsRegistry
 from ..obs.tracer import Tracer
 from ..sim.engine import Simulator
 from ..sim.network import Network
@@ -125,6 +127,8 @@ class ProtocolContext:
     history: HistoryRecorder = field(default_factory=lambda: HistoryRecorder(enabled=False))
     #: observability hooks; None (the default) is the zero-overhead path
     tracer: Optional[Tracer] = None
+    #: metrics registry + metadata ledger; None is the zero-overhead path
+    registry: Optional[MetricsRegistry] = None
 
 
 class _Pending:
@@ -265,6 +269,47 @@ class CausalProtocol(abc.ABC):
         self._members: Optional[tuple[int, ...]] = None
         #: set once this site leaves / is evicted; operations fail fast
         self._departed_status: Optional[str] = None
+        # Metrics instruments, resolved once per protocol instance so the
+        # hot paths pay a single ``is None`` branch (registry=None keeps
+        # all three at None — no instrument objects exist at all).  The
+        # histogram children are shared across sites (label: protocol);
+        # per-site detail lives in the metadata ledger.
+        registry = ctx.registry
+        if registry is not None:
+            self._m_activation_wait: Optional[Histogram] = registry.histogram(  # type: ignore[assignment]
+                "proto_activation_wait_ms",
+                "time a buffered SM waited before its activation predicate held",
+                labels=("protocol",),
+                reservoir=False,
+            ).labels(protocol=self.name)
+            self._m_pending_depth: Optional[Histogram] = registry.histogram(  # type: ignore[assignment]
+                "proto_pending_sm_depth",
+                "buffered-SM queue depth (1-in-4 SM-arrival sample)",
+                labels=("protocol",),
+                buckets=(0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128),
+                reservoir=False,
+            ).labels(protocol=self.name)
+            # deterministic 1-in-4 sampling of the depth shape metric
+            # (same idiom as the kernel batch hook's stride); the peak
+            # is still exact via pending_sm_peak
+            self._m_depth_skip = 0
+            self._m_log_entries: Optional[Histogram] = registry.histogram(  # type: ignore[assignment]
+                "proto_log_entries",
+                "piggyback log/clock entry count (1-in-4 local-write sample)",
+                labels=("protocol",),
+                reservoir=False,
+            ).labels(protocol=self.name)
+            self._m_log_skip = 0
+            self._m_ledger: Optional[MetadataLedger] = registry.ledger
+        else:
+            self._m_activation_wait = None
+            self._m_pending_depth = None
+            self._m_log_entries = None
+            self._m_ledger = None
+        #: kind -> (entry, mode, type) accumulator slots from
+        #: MetadataLedger.resolve, bumped inline in _send; dropped on
+        #: view changes (clock-keyed slots go stale when n grows)
+        self._m_led_cache: dict = {}
 
     # ------------------------------------------------------------------
     # public API driven by the application subsystem
@@ -277,7 +322,14 @@ class CausalProtocol(abc.ABC):
             raise DepartedSiteError(self.site, self._departed_status)
         if self._wal is not None and not self._replaying:
             self._wal.log_write(var, value)
-        return self._perform_write(var, value, op_index=op_index)
+        write_id = self._perform_write(var, value, op_index=op_index)
+        if self._m_log_entries is not None:
+            # 1-in-4 deterministic sample, same idiom as _m_depth_skip
+            self._m_log_skip += 1
+            if self._m_log_skip >= 4:
+                self._m_log_skip = 0
+                self._m_log_entries.observe(self.log_size())
+        return write_id
 
     @abc.abstractmethod
     def _perform_write(
@@ -371,6 +423,11 @@ class CausalProtocol(abc.ABC):
         self._pending_sm.append(sm)
         if len(self._pending_sm) > self.pending_sm_peak:
             self.pending_sm_peak = len(self._pending_sm)
+        if self._m_pending_depth is not None:
+            self._m_depth_skip += 1
+            if self._m_depth_skip >= 4:
+                self._m_depth_skip = 0
+                self._m_pending_depth.observe(len(self._pending_sm))
         if self._waiters is not None:
             self._mark_dirty(sm)
         self._drain()
@@ -515,6 +572,8 @@ class CausalProtocol(abc.ABC):
                         # only genuinely buffered updates count: an
                         # immediately-applicable SM has no gating cost
                         ctx.collector.record_activation_delay(delay)
+                        if self._m_activation_wait is not None:
+                            self._m_activation_wait.observe(delay)
                     if tracer is None:
                         self._apply_sm(entry.src, entry.message)
                     else:
@@ -682,6 +741,8 @@ class CausalProtocol(abc.ABC):
                             # only genuinely buffered updates count: an
                             # immediately-applicable SM has no gating cost
                             self.ctx.collector.record_activation_delay(delay)
+                            if self._m_activation_wait is not None:
+                                self._m_activation_wait.observe(delay)
                         if tracer is None:
                             self._apply_sm(pending.src, pending.message)
                         else:
@@ -747,19 +808,46 @@ class CausalProtocol(abc.ABC):
         time (size never affects timing in the default infinite-
         bandwidth model, matching the paper).
         """
-        size = message.metadata_size(self.ctx.size_model)  # type: ignore[attr-defined]
-        self.ctx.collector.record_message(kind, size)
-        if self.ctx.tracer is not None:
-            self.ctx.tracer.msg_send(self.site, dst, message,
-                                     ts=self.ctx.sim.now,
-                                     kind=kind.value, size=size)
-        history = self.ctx.history
+        ctx = self.ctx
+        collector = ctx.collector
+        size = message.metadata_size(ctx.size_model)  # type: ignore[attr-defined]
+        collector.record_message(kind, size)
+        if self._m_ledger is not None:
+            # same call site as the collector tally above, and the
+            # measured window splits at the same warm-up instant
+            # (mark_measuring) — so the ledger's totals agree with
+            # Table II/III by construction (MetadataLedger.crosscheck).
+            # The bump is inlined against a cached accumulator slot: a
+            # call into the ledger per message costs more than the
+            # accounting itself (see MetadataLedger.resolve).
+            try:
+                entry, mode = self._m_led_cache[kind]
+            except KeyError:
+                entry, mode = self._m_led_cache[kind] = \
+                    self._m_ledger.resolve(
+                        self.name, kind, self.site, message, ctx.size_model)
+            entry[0] += 1
+            if mode == 1:  # MODE_LOG_SIZE: opt-track SM/RM
+                entry[1] += len(message.log)  # type: ignore[attr-defined]
+                entry[2] += size
+            elif mode == 2:  # MODE_REQUIREMENTS: fetches
+                entry[1] += len(message.requirements)  # type: ignore[attr-defined]
+            elif mode == 3:  # MODE_LOG: crp tuples
+                entry[1] += len(message.log)  # type: ignore[attr-defined]
+            elif mode == 4:  # MODE_OPAQUE
+                entry[2] += size
+            # MODE_CLOCK (0): size fixed by the slot key, nothing to add
+        if ctx.tracer is not None:
+            ctx.tracer.msg_send(self.site, dst, message,
+                                ts=ctx.sim.now,
+                                kind=kind.value, size=size)
+        history = ctx.history
         if history.enabled:  # skip the kwargs + __name__ cost when off
             history.record_send(
-                time=self.ctx.sim.now, site=self.site, peer=dst,
+                time=ctx.sim.now, site=self.site, peer=dst,
                 detail=type(message).__name__,
             )
-        self.ctx.network.send(self.site, dst, message, size_bytes=size)
+        ctx.network.send(self.site, dst, message, size_bytes=size)
 
     def _multicast(
         self,
@@ -964,7 +1052,16 @@ class CausalProtocol(abc.ABC):
             collector=MetricsCollector(),
             history=HistoryRecorder(enabled=False),
             tracer=None,
+            registry=None,
         )
+        # the pre-bound instrument children would otherwise re-record
+        # replayed arrivals/activations into the real registry
+        saved_instruments = (self._m_activation_wait, self._m_pending_depth,
+                             self._m_log_entries, self._m_ledger)
+        self._m_activation_wait = None
+        self._m_pending_depth = None
+        self._m_log_entries = None
+        self._m_ledger = None
         self._replaying = True
         try:
             for rec in records:
@@ -979,6 +1076,8 @@ class CausalProtocol(abc.ABC):
         finally:
             self._replaying = False
             self.ctx = real_ctx
+            (self._m_activation_wait, self._m_pending_depth,
+             self._m_log_entries, self._m_ledger) = saved_instruments
         self._fetches.clear()
         return len(records)
 
@@ -997,6 +1096,9 @@ class CausalProtocol(abc.ABC):
         grow from the structures' *actual* sizes.
         """
         self._members = view.members
+        # clock-keyed ledger slots (full-track/optP) bake in the clock
+        # dimension; a view change can resize it, so re-resolve lazily
+        self._m_led_cache.clear()
         capacity = view.capacity
         if capacity > self.n:
             self.n = capacity

@@ -60,7 +60,7 @@ class OptTrackLog:
     """
 
     __slots__ = ("_entries", "_emptied", "_newest", "_empty_keys", "_sorted",
-                 "_frozen")
+                 "_frozen", "purged_records")
 
     def __init__(self, entries: Optional[Iterable[PiggybackEntry]] = None) -> None:
         # (writer, clock) -> mutable destination set
@@ -93,6 +93,9 @@ class OptTrackLog:
         # multicasts, so piggyback views and snapshots share one
         # PiggybackEntry per record instead of re-freezing each time
         self._frozen: dict[tuple[int, int], PiggybackEntry] = {}
+        # lifetime count of records deleted by purge() — an always-on
+        # int (the purge path is rare); sampled by the metrics registry
+        self.purged_records = 0
         if entries is not None:
             for e in entries:
                 self.insert(e.writer, e.clock, e.dests)
@@ -212,6 +215,7 @@ class OptTrackLog:
         if empty:
             newest = self._newest
             stale = [key for key in empty if newest[key[0]] > key[1]]
+            self.purged_records += len(stale)
             for key in stale:
                 del self._entries[key]
                 del empty[key]
@@ -379,6 +383,7 @@ class OptTrackLog:
         new._newest = dict(self._newest)
         new._empty_keys = dict(self._empty_keys)
         new._frozen = dict(self._frozen)  # immutable values; still valid
+        new.purged_records = self.purged_records
         return new
 
     def __repr__(self) -> str:

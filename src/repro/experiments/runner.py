@@ -36,6 +36,8 @@ from ..memory.replication import (
 from ..memory.store import SiteStore
 from ..metrics.collector import MetricsCollector
 from ..metrics.sizing import DEFAULT_SIZE_MODEL, SizeModel
+from ..obs.export import HeartbeatReporter
+from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer
 from ..sim.crash import (
     CatchupPolicy,
@@ -193,10 +195,49 @@ def build_placement(config: SimulationConfig) -> Placement:
     return _PLACEMENTS[config.placement](config.n_sites, config.n_vars, p)
 
 
+def _sample_final_metrics(
+    registry: MetricsRegistry,
+    sim: Simulator,
+    protocols: list[CausalProtocol],
+    end_time: float,
+) -> None:
+    """Record end-of-run totals that are cheaper to sample than to stream.
+
+    Kernel counters, per-site terminal log sizes, opt-track purge
+    tallies and the peak activation-buffer depth are all read once at
+    quiescence — instrumenting their hot paths would buy nothing but
+    overhead.
+    """
+    registry.inc("kernel_events_total", sim.processed_events,
+                 help_text="events processed by the simulation kernel")
+    registry.inc("kernel_compactions_total", sim.compactions,
+                 help_text="tombstone compaction sweeps of the event heap")
+    registry.set_gauge("run_sim_time_ms", end_time,
+                       help_text="simulated wall-clock at quiescence")
+    for proto in protocols:
+        registry.set_gauge(
+            "proto_final_log_entries", proto.log_size(),
+            help_text="causal-metadata log entries held at quiescence",
+            protocol=proto.name, site=proto.site)
+        registry.set_gauge(
+            "proto_pending_sm_peak", proto.pending_sm_peak,
+            help_text="peak activation-buffer depth over the run",
+            protocol=proto.name, site=proto.site)
+        log = getattr(proto, "log", None)
+        purged = getattr(log, "purged_records", None)
+        if purged is not None:
+            registry.inc(
+                "proto_purged_log_records_total", purged,
+                help_text="KS log records dropped by destination pruning",
+                protocol=proto.name, site=proto.site)
+
+
 def run_simulation(
     config: SimulationConfig,
     workload: Optional[Workload] = None,
     tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    heartbeat: Optional[HeartbeatReporter] = None,
 ) -> RunResult:
     """Execute one full simulation run and return its measurements.
 
@@ -207,6 +248,12 @@ def run_simulation(
     every operation and message hop; ``None`` (the default) keeps the
     instrumented paths byte-identical to the untraced seed behavior,
     mirroring the ``fault_plan=None`` contract.
+
+    A caller-provided ``registry`` turns on the metrics layer: labeled
+    instruments across kernel/network/protocols/crash/membership plus
+    the per-component metadata-byte ledger; ``None`` is again the
+    zero-overhead path.  A ``heartbeat`` reporter (usually paired with a
+    registry) emits periodic progress lines while the run executes.
     """
     # Elastic membership: the id space (capacity) covers every site that
     # will ever exist this run, so the workload is generated for joiners
@@ -254,7 +301,8 @@ def run_simulation(
     network = Network(sim, config.n_sites, config.latency, rng=net_rng,
                       bandwidth_bytes_per_ms=config.bandwidth_bytes_per_ms,
                       faults=faults, collector=collector,
-                      retransmit=config.retransmit, tracer=tracer)
+                      retransmit=config.retransmit, tracer=tracer,
+                      registry=registry)
     if config.sanitize:
         from ..check.sanitizer import SanitizedNetwork
 
@@ -266,6 +314,26 @@ def run_simulation(
         tracer.meta.setdefault("n_sites", config.n_sites)
         tracer.meta.setdefault("ops_per_process", config.ops_per_process)
         tracer.meta.setdefault("seed", config.seed)
+    if registry is not None:
+        if registry.ledger.base_n is None:
+            # clock growth past the initial site count is epoch padding
+            registry.ledger.base_n = config.n_sites
+        registry.install_kernel_hook(sim)
+    if heartbeat is not None:
+        if heartbeat.registry is None:
+            heartbeat.registry = registry
+        if sim.observer is None:
+            sim.observer = heartbeat.on_sim_event
+        else:
+            # compose: tracer sampling first, then the heartbeat
+            tracer_observer = sim.observer
+            hb_observer = heartbeat.on_sim_event
+
+            def _observe(ts: float, pending: int) -> None:
+                tracer_observer(ts, pending)
+                hb_observer(ts, pending)
+
+            sim.observer = _observe
 
     # Warm-up gate: open the measurement window once the first
     # ceil(fraction * total) operations have *started* (paper Sec. V).
@@ -278,9 +346,13 @@ def run_simulation(
         started += 1
         if started == warmup_ops + 1 or (warmup_ops == 0 and started == 1):
             collector.start_measuring()
+            if registry is not None:
+                registry.ledger.mark_measuring()
 
     if warmup_ops == 0:
         collector.start_measuring()
+        if registry is not None:
+            registry.ledger.mark_measuring()
 
     protocols: list[CausalProtocol] = []
     sites: list[Site] = []
@@ -296,12 +368,15 @@ def run_simulation(
             size_model=config.size_model,
             history=history,
             tracer=tracer,
+            registry=registry,
         )
         proto = create_protocol(config.protocol, ctx)
         network.register(i, proto.on_message)
         protocols.append(proto)
         sites.append(Site(proto, workload.for_site(i), sim,
                           on_operation=on_operation, tracer=tracer))
+    if heartbeat is not None:
+        heartbeat.bind(network=network, protocols=protocols)
 
     crash_manager: Optional[CrashRecoveryManager] = None
     planned_crashes = config.fault_plan.crashes if config.fault_plan else ()
@@ -331,6 +406,8 @@ def run_simulation(
             collector=collector,
             tracer=tracer,
         )
+        if registry is not None:
+            crash_manager.attach_registry(registry)
 
     view_manager: Optional[ViewManager] = None
     if churn:
@@ -349,6 +426,7 @@ def run_simulation(
                 size_model=config.size_model,
                 history=history,
                 tracer=tracer,
+                registry=registry,
             )
             return create_protocol(config.protocol, joiner_ctx)
 
@@ -367,10 +445,15 @@ def run_simulation(
         view_manager.schedule_plan(membership_events)
         if config.auto_evict_after_ms is not None:
             view_manager.enable_eviction(config.auto_evict_after_ms)
+        if registry is not None:
+            view_manager.registry = registry
 
     for site in sites:
         site.start()
     end_time = sim.run()
+
+    if registry is not None:
+        _sample_final_metrics(registry, sim, protocols, end_time)
 
     dead_forever: set[int] = set()
     departed: set[int] = set()

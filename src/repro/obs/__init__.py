@@ -10,10 +10,15 @@ The subsystem has four parts (see ``docs/observability.md``):
   and Chrome ``trace_event`` JSON (:func:`write_chrome`) loadable in
   Perfetto with one track per site;
 * analysis — :func:`summarize_trace`, :func:`slowest_activations` and
-  causal-chain reconstruction, :func:`diff_traces`.
+  causal-chain reconstruction, :func:`diff_traces`;
+* metrics — :class:`MetricsRegistry` (labeled counters/gauges/
+  histograms), the :class:`MetadataLedger` per-component byte
+  accounting, Prometheus/JSONL/console exporters, and the
+  :class:`HeartbeatReporter` live progress lines.
 
-Everything is opt-in: with ``tracer=None`` (the default everywhere) the
-instrumented subsystems run byte-identical to the un-instrumented code.
+Everything is opt-in: with ``tracer=None`` / ``registry=None`` (the
+defaults everywhere) the instrumented subsystems run byte-identical to
+the un-instrumented code.
 """
 
 from .analyze import (
@@ -27,6 +32,18 @@ from .analyze import (
     summarize_trace,
     visibility_stats,
 )
+from .export import (
+    HeartbeatReporter,
+    console_summary,
+    diff_snapshots,
+    ledger_table,
+    registry_snapshot,
+    to_prometheus,
+    write_prometheus,
+    write_snapshot_json,
+)
+from .ledger import MetadataLedger, decompose_message
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .sinks import load_trace, to_chrome, write_chrome, write_jsonl
 from .timeseries import TimeSeries
 from .tracer import Trace, TraceEvent, Tracer
@@ -36,6 +53,20 @@ __all__ = [
     "Trace",
     "TraceEvent",
     "TimeSeries",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetadataLedger",
+    "decompose_message",
+    "HeartbeatReporter",
+    "to_prometheus",
+    "write_prometheus",
+    "registry_snapshot",
+    "write_snapshot_json",
+    "console_summary",
+    "ledger_table",
+    "diff_snapshots",
     "write_jsonl",
     "load_trace",
     "to_chrome",

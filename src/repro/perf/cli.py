@@ -7,7 +7,12 @@ Modes (composable):
   ``--file`` (default ``BENCH_hotpath.json``), preserving history;
 * ``--compare PATH`` — after running, compare against the *last* entry
   in ``PATH`` that has this mode's numbers and exit 1 if any headline
-  metric regressed by more than ``--threshold`` (default 25%).
+  metric regressed by more than ``--threshold`` (default 25%);
+* ``--overhead``     — run the metrics-registry overhead bench instead
+  (enabled-vs-disabled A/B of the reference macro run) and exit 1 if the
+  enabled side costs more than ``--overhead-threshold`` (default 5%);
+  ``--record`` then appends to ``--overhead-file``
+  (default ``BENCH_overhead.json``).
 
 The JSON file is append-only history: ``entries[0]`` is the pre-refactor
 baseline, later entries are labelled measurements, so speedups versus
@@ -24,12 +29,14 @@ from typing import Optional, Sequence
 
 from .macro import run_macro
 from .micro import run_micro
+from .overhead import DEFAULT_OVERHEAD_THRESHOLD, run_overhead
 
 __all__ = ["main", "load_bench_file", "compare_results"]
 
 SCHEMA_VERSION = 1
 DEFAULT_FILE = "BENCH_hotpath.json"
 DEFAULT_THRESHOLD = 0.25
+DEFAULT_OVERHEAD_FILE = "BENCH_overhead.json"
 
 #: (section, key) pairs gated by --compare.  Micro structure benches are
 #: informational; the gate watches the headline throughput numbers so a
@@ -140,7 +147,68 @@ def build_parser() -> argparse.ArgumentParser:
                              f"(default {DEFAULT_THRESHOLD})")
     parser.add_argument("--json", metavar="PATH", dest="json_out",
                         help="also dump this run's raw results to PATH")
+    parser.add_argument("--overhead", action="store_true",
+                        help="run the metrics-registry overhead A/B bench "
+                             "instead of the micro/macro suite")
+    parser.add_argument("--overhead-file", default=DEFAULT_OVERHEAD_FILE,
+                        help="overhead bench history file for --record "
+                             f"(default {DEFAULT_OVERHEAD_FILE})")
+    parser.add_argument("--overhead-threshold", type=float,
+                        default=DEFAULT_OVERHEAD_THRESHOLD,
+                        help="allowed fractional registry overhead "
+                             f"(default {DEFAULT_OVERHEAD_THRESHOLD})")
     return parser
+
+
+def _load_overhead_file(path: Path) -> dict:
+    data = json.loads(path.read_text())
+    if data.get("schema") != SCHEMA_VERSION or data.get("bench") != "overhead":
+        raise ValueError(
+            f"{path}: not a schema-{SCHEMA_VERSION} overhead bench file")
+    if not isinstance(data.get("entries"), list):
+        raise ValueError(f"{path}: missing entries list")
+    return data
+
+
+def _cmd_overhead(args: argparse.Namespace, mode: str) -> int:
+    """The --overhead mode: self-gating A/B, optional history append."""
+    result = run_overhead(quick=args.quick,
+                          threshold=args.overhead_threshold)
+    escalated = (" [escalated from "
+                 f"{result['first_ratio']:.3f}x]" if result.get("escalated")
+                 else "")
+    print(f"overhead ({mode}): {result['reference']}"
+          f" off {result['wall_off_s']:.3f}s vs on {result['wall_on_s']:.3f}s"
+          f" -> ratio {result['overhead_ratio']:.3f}x"
+          f" (gate <= {1.0 + args.overhead_threshold:.2f}x){escalated}")
+
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(result, indent=2) + "\n")
+
+    if args.record:
+        path = Path(args.overhead_file)
+        if path.exists():
+            data = _load_overhead_file(path)
+        else:
+            data = {"schema": SCHEMA_VERSION, "bench": "overhead",
+                    "entries": []}
+        entries = data["entries"]
+        entry = next((e for e in entries if e.get("label") == args.record),
+                     None)
+        if entry is None:
+            entry = {"label": args.record, "modes": {}}
+            entries.append(entry)
+        entry["modes"][mode] = result
+        path.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"recorded entry {args.record!r} ({mode}) in {path}")
+
+    if result["overhead_ratio"] > 1.0 + args.overhead_threshold:
+        print(f"METRICS OVERHEAD REGRESSION: enabled registry costs "
+              f"{(result['overhead_ratio'] - 1.0):.1%} "
+              f"(allowed <= {args.overhead_threshold:.0%})")
+        return 1
+    print(f"overhead gate OK (threshold {args.overhead_threshold:.0%})")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -151,6 +219,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     mode = "quick" if args.quick else "full"
+    if args.overhead:
+        return _cmd_overhead(args, mode)
     current: dict = {}
     if not args.macro_only:
         current["micro"] = run_micro(quick=args.quick)

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..core.base import CausalProtocol
     from ..metrics.collector import MetricsCollector
+    from ..obs.metrics import MetricsRegistry
     from .engine import ScheduledEvent, Simulator
 
 __all__ = [
@@ -157,6 +158,9 @@ class DurabilityLayer:
         self._tick_event: "Optional[ScheduledEvent]" = None
         self._stopped = False
         self._attached = False
+        #: metrics registry (wired post-construction by the runner;
+        #: None is the zero-overhead path)
+        self.registry: "Optional[MetricsRegistry]" = None
 
     # ------------------------------------------------------------------
     def attach(self) -> None:
@@ -211,9 +215,17 @@ class DurabilityLayer:
                 continue  # a departed site's disk is frozen history
             if quiescent and not disk.wal:
                 continue  # nothing new since the last checkpoint
+            wal_len = len(disk.wal)
             disk.install_checkpoint(proto.snapshot(), now)
             if self.collector is not None:
                 self.collector.record_checkpoint()
+            if self.registry is not None:
+                self.registry.inc(
+                    "wal_checkpoints_total",
+                    help_text="checkpoints installed across all sites")
+                self.registry.observe(
+                    "wal_tail_records", wal_len,
+                    help_text="WAL records truncated by each checkpoint")
         if quiescent:
             # one final checkpoint above truncated every WAL, so a later
             # crash (interactive drivers) replays only post-wake inputs

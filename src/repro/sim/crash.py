@@ -46,6 +46,7 @@ from .faults import CrashEvent
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.base import CausalProtocol
     from ..metrics.collector import MetricsCollector
+    from ..obs.metrics import MetricsRegistry
     from ..obs.tracer import Tracer
     from .engine import Simulator
     from .network import Network
@@ -164,6 +165,9 @@ class CrashRecoveryManager:
         self._detected: set[int] = set()
         self.sync_messages = 0
         self._started = False
+        #: metrics registry (wired post-construction by the runner via
+        #: attach_registry; None is the zero-overhead path)
+        self.registry: "Optional[MetricsRegistry]" = None
         # wire the collaborators
         durability.is_down = self.is_down
         durability.quiescent = self.quiescent
@@ -173,6 +177,13 @@ class CrashRecoveryManager:
             detector.on_suspect = self._on_suspect
         if self.transport is not None:
             self.transport.register_packet_handler(self._handle_packet)
+
+    def attach_registry(self, registry: "MetricsRegistry") -> None:
+        """Wire the metrics registry through to the crash subsystems."""
+        self.registry = registry
+        self.durability.registry = registry
+        if self.detector is not None:
+            self.detector.attach_registry(registry)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -255,6 +266,9 @@ class CrashRecoveryManager:
         self._responses.pop(site, None)
         if self.collector is not None:
             self.collector.record_crash()
+        if self.registry is not None:
+            self.registry.inc("crash_crashes_total",
+                              help_text="site crashes injected")
         if self.tracer is not None:
             self.tracer.site_crash(site, now)
         if self.sites is not None:
@@ -297,6 +311,13 @@ class CrashRecoveryManager:
                 wal_replayed=replayed,
                 checkpoint_age_ms=checkpoint_age,
             )
+        if self.registry is not None:
+            self.registry.inc("crash_restores_total",
+                              help_text="sites restored from disk")
+            self.registry.observe("crash_downtime_ms", downtime,
+                                  help_text="crash-to-restore downtime")
+            self.registry.observe("wal_replayed_records", replayed,
+                                  help_text="WAL records replayed per restore")
         if self.tracer is not None:
             self.tracer.site_restore(site, now, downtime_ms=downtime,
                                      wal_replayed=replayed)
@@ -381,6 +402,11 @@ class CrashRecoveryManager:
         rounds = self._catchup_rounds.pop(site, 0)
         if self.collector is not None:
             self.collector.record_catchup(duration, rounds=rounds, forced=forced)
+        if self.registry is not None:
+            self.registry.inc("crash_catchups_total",
+                              help_text="anti-entropy catch-ups completed")
+            self.registry.observe("crash_catchup_ms", duration,
+                                  help_text="restore-to-caught-up duration")
         if self.tracer is not None:
             self.tracer.site_catchup(site, self.sim.now, duration_ms=duration,
                                      rounds=rounds, forced=forced)

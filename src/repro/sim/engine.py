@@ -119,6 +119,9 @@ class Simulator:
         self._running = False
         #: cancelled events still sitting in the heap
         self._tombstones = 0
+        #: lifetime count of tombstone compactions (always-on int — the
+        #: compact path is rare; sampled by the metrics registry)
+        self.compactions = 0
         #: optional per-event observer ``(time, pending_count)`` — used
         #: by the tracer's time-series sampler (event throughput, queue
         #: depth).  Purely passive; None costs one branch per event.
@@ -126,6 +129,17 @@ class Simulator:
         #: it once at entry, so a swap from inside a callback only takes
         #: effect on the next ``run()``/``step()``.
         self.observer: Optional[Callable[[float, int], None]] = None
+        #: optional per-timestamp-batch observer ``(time, batch_events,
+        #: heap_len)`` — fired every ``batch_observer_stride``-th
+        #: same-timestamp batch by :meth:`run` (not :meth:`step`).  Used
+        #: by the metrics registry's kernel histograms; read once at
+        #: ``run()`` entry like ``observer``.
+        self.batch_observer: Optional[Callable[[float, int, int], None]] = None
+        #: 1-in-k sampling for ``batch_observer``: skipped batches cost
+        #: an inline increment in the dispatch loop instead of a Python
+        #: call into the hook (batch/heap histograms are shape metrics;
+        #: a deterministic sample preserves them)
+        self.batch_observer_stride: int = 1
 
     # ------------------------------------------------------------------
     # clock & introspection
@@ -204,6 +218,7 @@ class Simulator:
         self._queue[:] = [item for item in self._queue if not item[2].cancelled]
         heapq.heapify(self._queue)
         self._tombstones = 0
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # execution
@@ -249,6 +264,9 @@ class Simulator:
         pop = heapq.heappop
         max_events = self._max_events
         observer = self.observer
+        batch_observer = self.batch_observer
+        batch_stride = self.batch_observer_stride
+        batches_skipped = 0
         processed = self._processed
         try:
             while queue:
@@ -265,6 +283,7 @@ class Simulator:
                 # be inside the horizon, so the until-check and clock
                 # write happen once per timestamp, not once per event
                 self._now = batch_until
+                batch_start = processed
                 while queue and queue[0][0] == batch_until:
                     ev = pop(queue)[2]
                     ev._queued = False
@@ -280,6 +299,12 @@ class Simulator:
                     if observer is not None:
                         observer(batch_until, len(queue))
                     ev.callback()
+                if batch_observer is not None:
+                    batches_skipped += 1
+                    if batches_skipped >= batch_stride:
+                        batches_skipped = 0
+                        batch_observer(batch_until, processed - batch_start,
+                                       len(queue))
             if until is not None and until > self._now:
                 self._now = until
             return self._now

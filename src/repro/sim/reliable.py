@@ -300,6 +300,10 @@ class ReliableTransport:
         self.ack_bytes += ACK_SIZE_BYTES
         if self.net.collector is not None:
             self.net.collector.record_ack(ACK_SIZE_BYTES)
+        if self.net.registry is not None:
+            self.net.registry.inc(
+                "net_acks_total",
+                help_text="cumulative-ack packets sent by the reliable layer")
         self.net._transmit_raw(from_site, to_site, AckPacket(cumulative),
                                ACK_SIZE_BYTES)
 
@@ -307,11 +311,19 @@ class ReliableTransport:
         self.retransmissions += 1
         if self.net.collector is not None:
             self.net.collector.record_retransmission()
+        if self.net.registry is not None:
+            self.net.registry.inc(
+                "net_retransmissions_total",
+                help_text="timer- or heal-driven retransmissions")
 
     def count_duplicate_drop(self) -> None:
         self.duplicate_drops += 1
         if self.net.collector is not None:
             self.net.collector.record_duplicate_drop()
+        if self.net.registry is not None:
+            self.net.registry.inc(
+                "net_duplicate_drops_total",
+                help_text="already-delivered packets discarded by receivers")
         if self.net.tracer is not None:
             self.net.tracer.timeseries.incr("net.dup_drops", self.sim.now)
 
