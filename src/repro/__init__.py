@@ -65,6 +65,7 @@ from .sim.faults import (
     CrashEvent,
     FaultInjector,
     FaultPlan,
+    OverloadEvent,
     Partition,
     seeded_crashes,
 )
@@ -77,7 +78,7 @@ from .sim.network import (
     PerPairLatency,
     UniformLatency,
 )
-from .sim.reliable import RetransmitPolicy
+from .sim.reliable import OverloadError, RetransmitPolicy
 from .verify.causal_checker import CausalityViolation, check_causal_consistency
 from .verify.sessions import check_all_session_guarantees
 from .workload.generator import generate_workload
@@ -112,6 +113,8 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "RetransmitPolicy",
+    "OverloadEvent",
+    "OverloadError",
     # crash-recovery
     "CrashEvent",
     "seeded_crashes",

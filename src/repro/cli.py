@@ -13,6 +13,8 @@ Subcommands:
   causal consistency;
 * ``metrics``    — run with the metrics registry on (Prometheus/JSON
   exports + metadata-byte ledger), summarize a dump, or diff two dumps;
+* ``soak``       — chaos-soak matrix: sustained drops+spikes+partitions+
+  flash crowds over the protocol matrix, with liveness invariants;
 * ``list``       — protocols and experiments available.
 """
 
@@ -40,9 +42,11 @@ from .sim.faults import (
     ChannelFaults,
     CrashEvent,
     FaultPlan,
+    OverloadEvent,
     Partition,
     seeded_churn,
 )
+from .sim.reliable import RetransmitPolicy
 from .sim.network import (
     AdversarialLatency,
     ConstantLatency,
@@ -219,6 +223,27 @@ def build_parser() -> argparse.ArgumentParser:
     met_diff_p.add_argument("metrics_a", metavar="METRICS_A")
     met_diff_p.add_argument("metrics_b", metavar="METRICS_B")
 
+    soak_p = sub.add_parser(
+        "soak",
+        help="chaos-soak matrix: sustained faults + flash crowds over the "
+             "protocol matrix, holding liveness invariants",
+    )
+    soak_p.add_argument("--protocols", default=None, metavar="P1,P2",
+                        help="comma-separated protocol subset "
+                             "(default: all four)")
+    soak_p.add_argument("--seeds", default="1,2,3", metavar="S1,S2",
+                        help="comma-separated seed list (default: 1,2,3)")
+    soak_p.add_argument("-n", "--sites", type=int, default=5)
+    soak_p.add_argument("--ops", type=int, default=40,
+                        help="operations per process (short horizon)")
+    soak_p.add_argument("--out", default=None, metavar="DIR",
+                        help="write soak_report.json + per-run metrics "
+                             "artifacts into DIR")
+    soak_p.add_argument("--no-determinism", action="store_true",
+                        help="skip the same-seed double-run check")
+    soak_p.add_argument("--no-rto-compare", action="store_true",
+                        help="skip the adaptive-vs-fixed RTO comparison")
+
     sub.add_parser("list", help="list protocols and experiments")
     return parser
 
@@ -255,6 +280,23 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
     grp.add_argument("--auto-evict", type=float, default=None, metavar="MS",
                      help="evict a crash-stopped site MS after the failure "
                           "detector first suspects it")
+    grp.add_argument("--overload-plan", action="append", default=None,
+                     metavar="START:END:INTERVAL:SITES",
+                     help="flash-crowd event: inject one extra write at each "
+                          "of SITES (comma-separated) every INTERVAL ms "
+                          "between START and END ms, e.g. 900:2600:25:0,2; "
+                          "repeat the flag for multiple events")
+    grp.add_argument("--send-window", type=int, default=None, metavar="N",
+                     help="bound in-flight packets per channel to N "
+                          "(flow control; excess queues in a send backlog)")
+    rto = grp.add_mutually_exclusive_group()
+    rto.add_argument("--adaptive-rto", dest="adaptive_rto",
+                     action="store_true", default=None,
+                     help="Jacobson/Karels per-channel RTT-estimated "
+                          "retransmission timeout (the default)")
+    rto.add_argument("--fixed-rto", dest="adaptive_rto", action="store_false",
+                     help="fixed base-RTO retransmission policy (the "
+                          "pre-adaptive behaviour)")
     grp.add_argument("--fault-plan-json", default=None, metavar="PATH",
                      help="load the complete fault plan from a JSON file "
                           "(overrides the individual chaos flags)")
@@ -294,6 +336,35 @@ def _parse_crash_plan(spec: str) -> tuple[CrashEvent, ...]:
     return tuple(events)
 
 
+def _parse_overload(spec: str) -> OverloadEvent:
+    try:
+        start, end, interval, sites = spec.split(":")
+        group = [int(s) for s in sites.split(",") if s]
+        return OverloadEvent(group, float(start), float(end), float(interval))
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(
+            f"invalid --overload-plan {spec!r} (want START:END:INTERVAL:SITES,"
+            f" e.g. 900:2600:25:0,2): {exc}"
+        )
+
+
+def _retransmit_from_args(args: argparse.Namespace) -> Optional[RetransmitPolicy]:
+    """None unless a transport knob was set (keeps the default policy)."""
+    send_window = getattr(args, "send_window", None)
+    adaptive = getattr(args, "adaptive_rto", None)
+    if send_window is None and adaptive is None:
+        return None
+    kwargs: dict = {}
+    if send_window is not None:
+        kwargs["send_window"] = send_window
+    if adaptive is not None:
+        kwargs["adaptive"] = adaptive
+    try:
+        return RetransmitPolicy(**kwargs)
+    except ValueError as exc:
+        raise SystemExit(f"invalid retransmit policy: {exc}")
+
+
 def _parse_churn_window(spec: Optional[str]) -> tuple[float, float]:
     if spec is None:
         return (500.0, 3000.0)
@@ -319,6 +390,9 @@ def _fault_plan_from_args(args: argparse.Namespace) -> Optional[FaultPlan]:
     else:
         partitions = (_parse_partition(args.partition),) if args.partition else ()
         crashes = _parse_crash_plan(args.crash_plan) if args.crash_plan else ()
+        overloads = tuple(
+            _parse_overload(spec) for spec in (args.overload_plan or ())
+        )
         membership = ()
         if args.churn_joins or args.churn_leaves:
             try:
@@ -334,7 +408,7 @@ def _fault_plan_from_args(args: argparse.Namespace) -> Optional[FaultPlan]:
             except ValueError as exc:
                 raise SystemExit(f"invalid churn plan: {exc}")
         if not (args.drop_rate or args.dup_rate or partitions or crashes
-                or membership):
+                or membership or overloads):
             plan = None
         else:
             try:
@@ -344,6 +418,7 @@ def _fault_plan_from_args(args: argparse.Namespace) -> Optional[FaultPlan]:
                     partitions=partitions,
                     crashes=crashes,
                     membership=membership,
+                    overloads=overloads,
                 )
             except ValueError as exc:
                 raise SystemExit(f"invalid fault plan: {exc}")
@@ -369,6 +444,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         record_history=args.check,
         fault_plan=_fault_plan_from_args(args),
         fault_seed=args.fault_seed,
+        retransmit=_retransmit_from_args(args),
         checkpoint_interval_ms=args.checkpoint_interval,
         auto_evict_after_ms=args.auto_evict,
     )
@@ -496,6 +572,7 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
         record_history=True,
         fault_plan=_fault_plan_from_args(args),
         fault_seed=args.fault_seed,
+        retransmit=_retransmit_from_args(args),
         checkpoint_interval_ms=args.checkpoint_interval,
         auto_evict_after_ms=args.auto_evict,
     )
@@ -633,6 +710,7 @@ def _cmd_metrics_run(args: argparse.Namespace) -> int:
         seed=args.seed, latency=_LATENCIES[args.latency](),
         fault_plan=_fault_plan_from_args(args),
         fault_seed=args.fault_seed,
+        retransmit=_retransmit_from_args(args),
         checkpoint_interval_ms=args.checkpoint_interval,
         auto_evict_after_ms=args.auto_evict,
     )
@@ -721,6 +799,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         record_history=True,
         fault_plan=_fault_plan_from_args(args),
         fault_seed=args.fault_seed,
+        retransmit=_retransmit_from_args(args),
         checkpoint_interval_ms=args.checkpoint_interval,
         auto_evict_after_ms=args.auto_evict,
     )
@@ -789,6 +868,51 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .soak import SOAK_PROTOCOLS, soak_matrix
+
+    if args.protocols:
+        protocols = tuple(p for p in args.protocols.split(",") if p)
+        unknown = [p for p in protocols if p not in protocol_names()]
+        if unknown:
+            raise SystemExit(f"unknown protocol(s): {', '.join(unknown)}")
+    else:
+        protocols = SOAK_PROTOCOLS
+    try:
+        seeds = tuple(int(s) for s in args.seeds.split(",") if s)
+    except ValueError as exc:
+        raise SystemExit(f"invalid --seeds {args.seeds!r}: {exc}")
+    if not seeds:
+        raise SystemExit("--seeds must name at least one seed")
+
+    report = soak_matrix(
+        protocols, seeds,
+        n_sites=args.sites, ops=args.ops,
+        check_determinism=not args.no_determinism,
+        compare_rto=not args.no_rto_compare,
+        out_dir=Path(args.out) if args.out else None,
+    )
+    for cell in report.cells:
+        status = "ok" if cell.ok and cell.deterministic else "FAIL"
+        print(f"soak {cell.protocol:14s} seed={cell.seed:<3d} {status}")
+        for problem in cell.problems:
+            print(f"    {problem}")
+    if report.rto_comparison is not None:
+        comp = report.rto_comparison
+        print(f"rto comparison: fixed spurious="
+              f"{comp['fixed']['spurious_retransmissions']:.0f} "
+              f"adaptive spurious="
+              f"{comp['adaptive']['spurious_retransmissions']:.0f} "
+              f"adaptive_fewer={comp['adaptive_fewer_spurious']}")
+    if args.out:
+        print(f"soak report written to {Path(args.out) / 'soak_report.json'}")
+    print(f"soak: {'PASS' if report.ok else 'FAIL'} "
+          f"({len(report.cells)} cells)")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -802,6 +926,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "crossover": _cmd_crossover,
         "check": _cmd_check,
         "metrics": _cmd_metrics,
+        "soak": _cmd_soak,
         "list": _cmd_list,
     }
     try:

@@ -217,9 +217,18 @@ class CausalCluster:
 
     # ------------------------------------------------------------------
     def write(self, site: int, var: int, value: object) -> WriteId:
-        """Issue w(x_var)value at ``site`` at the current simulated time."""
+        """Issue w(x_var)value at ``site`` at the current simulated time.
+
+        Interactive writes go through overload admission: once the
+        site's outbound transport backlog exceeds the retransmit
+        policy's shed threshold the write is refused with
+        :class:`~repro.sim.reliable.OverloadError` (graceful shedding)
+        instead of queuing unboundedly.  Advance the simulation to let
+        the backlog drain, then retry.
+        """
         self._check_site(site)
         self._check_up(site)
+        self.protocols[site].admit_put()
         self._wake()
         self._op_counter += 1
         return self.protocols[site].write(var, value, op_index=self._op_counter)

@@ -314,6 +314,23 @@ class CausalProtocol(abc.ABC):
     # ------------------------------------------------------------------
     # public API driven by the application subsystem
     # ------------------------------------------------------------------
+    @property
+    def backpressured(self) -> bool:
+        """True while this site's outbound transport signals backpressure
+        (a windowed-out backlog on some channel).  Always False on the
+        seed path — the reliable network has no queues to fill."""
+        return self.ctx.network.overloaded(self.site)
+
+    def admit_put(self) -> None:
+        """Admission control for an externally-driven PUT: raises
+        :class:`~repro.sim.reliable.OverloadError` once this site's
+        outbound backlog exceeds the policy's shed threshold, so callers
+        shed load instead of queuing it unboundedly.  Workload-schedule
+        writes bypass this (they *delay* under backpressure instead —
+        see :meth:`repro.sim.process.Site._execute_next`).  No-op on the
+        seed path."""
+        self.ctx.network.check_overload_admission(self.site)
+
     def write(self, var: int, value: object, *, op_index: Optional[int] = None) -> WriteId:
         """Perform w(x_var)value locally and multicast it to all replicas."""
         if self._departed_status is not None:
@@ -1168,6 +1185,16 @@ class CausalProtocol(abc.ABC):
         """Buffered messages + outstanding fetches (0 at quiescence)."""
         return (len(self._pending_sm) + len(self._pending_rm)
                 + len(self._pending_fm) + len(self._fetches))
+
+    @property
+    def reads_in_flight(self) -> int:
+        """Remote reads issued but not yet completed.
+
+        Program order runs *through* a pending read: injectors must not
+        fire an operation at this site between a read's FM issue and its
+        RM completion, or the site stops being a sequential process.
+        """
+        return len(self._fetches)
 
     @property
     def buffered_count(self) -> int:

@@ -49,8 +49,9 @@ from ..sim.failure_detector import DetectorPolicy
 from ..sim.faults import FaultInjector, FaultPlan, JoinEvent
 from ..sim.membership import MembershipPolicy, ViewManager
 from ..sim.network import LatencyModel, Network, PerPairLatency, UniformLatency
+from ..sim.overload import OverloadDriver
 from ..sim.process import Site
-from ..sim.reliable import RetransmitPolicy
+from ..sim.reliable import ReliableTransport, RetransmitPolicy
 from ..verify.history import HistoryRecorder
 from ..workload.generator import generate_workload
 from ..workload.schedule import Workload
@@ -166,6 +167,8 @@ class RunResult:
     crash_manager: Optional[CrashRecoveryManager] = None
     #: elastic-membership orchestrator (None for static-membership runs)
     view_manager: Optional[ViewManager] = None
+    #: flash-crowd driver (None when the plan has no overload events)
+    overload_driver: Optional[OverloadDriver] = None
 
     @property
     def final_log_sizes(self) -> list[int]:
@@ -200,6 +203,8 @@ def _sample_final_metrics(
     sim: Simulator,
     protocols: list[CausalProtocol],
     end_time: float,
+    transport: Optional[ReliableTransport] = None,
+    overload_driver: Optional[OverloadDriver] = None,
 ) -> None:
     """Record end-of-run totals that are cheaper to sample than to stream.
 
@@ -230,6 +235,15 @@ def _sample_final_metrics(
                 "proto_purged_log_records_total", purged,
                 help_text="KS log records dropped by destination pruning",
                 protocol=proto.name, site=proto.site)
+    if transport is not None:
+        transport.sample_channel_metrics(registry)
+    if overload_driver is not None:
+        registry.inc("overload_injected_total", overload_driver.injected,
+                     help_text="flash-crowd writes that reached a protocol")
+        registry.inc("overload_sheds_total", overload_driver.sheds,
+                     help_text="flash-crowd writes refused by admission")
+        registry.inc("overload_skipped_total", overload_driver.skipped,
+                     help_text="flash-crowd ticks aimed at down/held sites")
 
 
 def run_simulation(
@@ -293,16 +307,25 @@ def run_simulation(
     net_rng = np.random.default_rng(np.random.SeedSequence(config.seed).spawn(1)[0])
     collector = MetricsCollector()
     faults = None
+    overload_rng: Optional[np.random.Generator] = None
     if config.fault_plan is not None:
-        fault_rng = np.random.default_rng(
-            np.random.SeedSequence(config.fault_seed).spawn(1)[0]
-        )
+        # two children: [0] is byte-identical to the pre-overload
+        # .spawn(1)[0] stream (spawn keys are positional), so attaching
+        # the overload driver's dedicated stream never perturbs the
+        # injector's fault schedule
+        fault_children = np.random.SeedSequence(config.fault_seed).spawn(2)
+        fault_rng = np.random.default_rng(fault_children[0])
         faults = FaultInjector(config.fault_plan, rng=fault_rng)
+        if config.fault_plan.overloads:
+            overload_rng = np.random.default_rng(fault_children[1])
     network = Network(sim, config.n_sites, config.latency, rng=net_rng,
                       bandwidth_bytes_per_ms=config.bandwidth_bytes_per_ms,
                       faults=faults, collector=collector,
                       retransmit=config.retransmit, tracer=tracer,
                       registry=registry)
+    # the sanitizer wrapper proxies the network; keep a direct handle on
+    # the chaos transport for end-of-run channel metrics
+    transport = network.transport
     if config.sanitize:
         from ..check.sanitizer import SanitizedNetwork
 
@@ -448,12 +471,24 @@ def run_simulation(
         if registry is not None:
             view_manager.registry = registry
 
+    overload_driver: Optional[OverloadDriver] = None
+    if overload_rng is not None:
+        assert config.fault_plan is not None
+        overload_driver = OverloadDriver(
+            sim, config.fault_plan, protocols, sites,
+            config.n_vars, overload_rng,
+        )
+
     for site in sites:
         site.start()
     end_time = sim.run()
 
+    if overload_driver is not None:
+        collector.record_overload_injected(overload_driver.injected)
     if registry is not None:
-        _sample_final_metrics(registry, sim, protocols, end_time)
+        _sample_final_metrics(registry, sim, protocols, end_time,
+                              transport=transport,
+                              overload_driver=overload_driver)
 
     dead_forever: set[int] = set()
     departed: set[int] = set()
@@ -491,4 +526,5 @@ def run_simulation(
         total_sim_events=sim.processed_events,
         crash_manager=crash_manager,
         view_manager=view_manager,
+        overload_driver=overload_driver,
     )

@@ -229,7 +229,7 @@ class MetadataLedger:
     """
 
     __slots__ = ("base_n", "_lifetime", "_mark", "_marked", "_pending",
-                 "_model")
+                 "_model", "_transport")
 
     def __init__(self, base_n: Optional[int] = None) -> None:
         #: initial site count; clock growth beyond it is epoch padding
@@ -245,6 +245,13 @@ class MetadataLedger:
         #: per-message work
         self._pending: dict[tuple, list] = {}
         self._model: Optional[SizeModel] = None
+        #: transport-layer bytes (chaos path): ("ack"|"retransmit",
+        #: site) -> [count, bytes].  These are wire infrastructure, not
+        #: piggyback metadata, so they live beside the component cells —
+        #: but they make soak-run byte tallies sum exactly (the
+        #: crosscheck pins them to the collector's ack/retransmission
+        #: counters).  Lifetime-only, like the collector's chaos side.
+        self._transport: dict[tuple[str, int], list] = {}
 
     # -- hot path ------------------------------------------------------
     #: dim-extraction modes returned by :meth:`resolve` — how a hot
@@ -336,6 +343,24 @@ class MetadataLedger:
         entry[0] += 1
         entry[1] += d1
         entry[2] += d2
+
+    def record_transport(self, kind: str, site: int, nbytes: float) -> None:
+        """Account one transport-layer packet (ack or retransmission)
+        originated by ``site``; called from the reliable layer next to
+        the collector bumps so both always agree exactly."""
+        entry = self._transport.get((kind, site))
+        if entry is None:
+            entry = self._transport[(kind, site)] = [0, 0.0]
+        entry[0] += 1
+        entry[1] += nbytes
+
+    def transport_totals(self) -> dict[str, tuple[int, float]]:
+        """{kind: (count, bytes)} summed over sites, sorted by kind."""
+        out: dict[str, tuple[int, float]] = {}
+        for (kind, _site), (count, nbytes) in sorted(self._transport.items()):
+            prev = out.get(kind, (0, 0.0))
+            out[kind] = (prev[0] + count, prev[1] + nbytes)
+        return out
 
     def mark_measuring(self) -> None:
         """Open the measured window (call where the collector's
@@ -484,6 +509,11 @@ class MetadataLedger:
                 row.update(cell.as_dict())
                 rows.append(row)
             out[window] = rows
+        out["transport"] = [
+            {"kind": kind, "site": site, "count": entry[0],
+             "bytes": entry[1]}
+            for (kind, site), entry in sorted(self._transport.items())
+        ]
         return out
 
     @classmethod
@@ -522,6 +552,10 @@ class MetadataLedger:
                 }
         ledger._mark = mark
         ledger._marked = True
+        for row in data.get("transport", ()):
+            ledger._transport[(str(row["kind"]), int(row["site"]))] = [
+                int(row["count"]), float(row["bytes"]),
+            ]
         return ledger
 
     # -- the satellite-1 invariant -------------------------------------
@@ -559,6 +593,33 @@ class MetadataLedger:
                     f"{k}: ledger measured bytes {m_bytes} != "
                     f"collector {tally.measured.total}"
                 )
+        # transport-layer packets (ack + retransmission wire bytes): the
+        # ledger and collector bump in the same code path with identical
+        # float addition sequences, so exact equality is the invariant —
+        # this is what makes soak-run byte tallies sum exactly
+        totals = self.transport_totals()
+        ack_count, ack_bytes = totals.get("ack", (0, 0.0))
+        if ack_count != collector.acks_sent:
+            problems.append(
+                f"ack: ledger count {ack_count} != "
+                f"collector {collector.acks_sent}"
+            )
+        if ack_bytes != collector.ack_bytes:
+            problems.append(
+                f"ack: ledger bytes {ack_bytes} != "
+                f"collector {collector.ack_bytes}"
+            )
+        rtx_count, rtx_bytes = totals.get("retransmit", (0, 0.0))
+        if rtx_count != collector.retransmissions:
+            problems.append(
+                f"retransmit: ledger count {rtx_count} != "
+                f"collector {collector.retransmissions}"
+            )
+        if rtx_bytes != collector.retransmission_bytes:
+            problems.append(
+                f"retransmit: ledger bytes {rtx_bytes} != "
+                f"collector {collector.retransmission_bytes}"
+            )
         return problems
 
     def __repr__(self) -> str:

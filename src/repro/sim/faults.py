@@ -33,6 +33,7 @@ __all__ = [
     "CrashEvent",
     "JoinEvent",
     "LeaveEvent",
+    "OverloadEvent",
     "FaultPlan",
     "FaultDecision",
     "FaultInjector",
@@ -168,6 +169,57 @@ class LeaveEvent:
 MembershipEvent = Union[JoinEvent, LeaveEvent]
 
 
+@dataclass(frozen=True)
+class OverloadEvent:
+    """A flash crowd hammers ``sites`` with extra writes in [start, end).
+
+    The runner's overload driver injects one additional write every
+    ``interval_ms`` at each listed site (on top of its planned schedule)
+    until the window closes.  Variables are drawn from a dedicated
+    seeded RNG stream, so the injected load replays bit-identically.
+    A tick at a site that is down, held, or departed is skipped; a tick
+    at a site whose transport reports hard overload is *shed* (typed as
+    :class:`~repro.sim.reliable.OverloadError` at admission) — both
+    outcomes are counted, so soak runs can assert the flash crowd both
+    happened and was survived.
+    """
+
+    sites: tuple[int, ...]
+    start_ms: float
+    end_ms: float
+    interval_ms: float
+
+    def __init__(self, sites: Iterable[int], start_ms: float,
+                 end_ms: float, interval_ms: float) -> None:
+        object.__setattr__(self, "sites", tuple(sorted({int(s) for s in sites})))
+        object.__setattr__(self, "start_ms", float(start_ms))
+        object.__setattr__(self, "end_ms", float(end_ms))
+        object.__setattr__(self, "interval_ms", float(interval_ms))
+        if not self.sites:
+            raise ValueError("overload event needs at least one target site")
+        if self.sites[0] < 0:
+            raise ValueError("overload sites must be >= 0")
+        if not math.isfinite(self.end_ms):
+            raise ValueError("overload windows must end (no infinite flash crowds)")
+        if not 0.0 <= self.start_ms < self.end_ms:
+            raise ValueError(
+                f"invalid overload window [{self.start_ms}, {self.end_ms})"
+            )
+        if not self.interval_ms > 0.0:
+            raise ValueError(
+                f"overload interval must be positive, got {self.interval_ms}"
+            )
+
+    def ticks(self) -> list[float]:
+        """Deterministic injection instants for one target site."""
+        out = []
+        t = self.start_ms
+        while t < self.end_ms:
+            out.append(t)
+            t += self.interval_ms
+        return out
+
+
 def seeded_crashes(
     n_sites: int,
     *,
@@ -248,6 +300,7 @@ class FaultPlan:
     partitions: tuple[Partition, ...] = ()
     crashes: tuple[CrashEvent, ...] = ()
     membership: tuple[MembershipEvent, ...] = ()
+    overloads: tuple[OverloadEvent, ...] = ()
 
     @classmethod
     def build(
@@ -257,6 +310,7 @@ class FaultPlan:
         partitions: Sequence[Partition] = (),
         crashes: Sequence[CrashEvent] = (),
         membership: Sequence[MembershipEvent] = (),
+        overloads: Sequence[OverloadEvent] = (),
     ) -> "FaultPlan":
         return cls(
             default=default if default is not None else ChannelFaults(),
@@ -264,6 +318,7 @@ class FaultPlan:
             partitions=tuple(partitions),
             crashes=tuple(crashes),
             membership=tuple(membership),
+            overloads=tuple(overloads),
         )
 
     @classmethod
@@ -276,6 +331,7 @@ class FaultPlan:
         partitions: Sequence[Partition] = (),
         crashes: Sequence[CrashEvent] = (),
         membership: Sequence[MembershipEvent] = (),
+        overloads: Sequence[OverloadEvent] = (),
     ) -> "FaultPlan":
         """The common case: one fault profile applied to every channel."""
         return cls.build(
@@ -283,6 +339,7 @@ class FaultPlan:
             partitions=partitions,
             crashes=crashes,
             membership=membership,
+            overloads=overloads,
         )
 
     def validate(self, horizon_ms: Optional[float] = None) -> None:
@@ -344,6 +401,13 @@ class FaultPlan:
                 raise ValueError(
                     f"membership event {ev!r} starts after the stop "
                     f"condition ({horizon_ms}ms) and can never be observed"
+                )
+        for ov in self.overloads:
+            ticks = (ov.end_ms - ov.start_ms) / ov.interval_ms
+            if ticks * len(ov.sites) > 1_000_000:
+                raise ValueError(
+                    f"overload event {ov!r} would inject over a million "
+                    f"operations — widen interval_ms or shrink the window"
                 )
         crash_stoppers = {c.site for c in self.crashes if c.is_crash_stop}
         doomed = leavers & crash_stoppers
@@ -412,6 +476,15 @@ class FaultPlan:
                 for c in self.crashes
             ],
             "membership": membership,
+            "overloads": [
+                {
+                    "sites": list(ov.sites),
+                    "start_ms": ov.start_ms,
+                    "end_ms": ov.end_ms,
+                    "interval_ms": ov.interval_ms,
+                }
+                for ov in self.overloads
+            ],
         }
 
     @classmethod
@@ -457,6 +530,13 @@ class FaultPlan:
                 for c in data.get("crashes", ())
             ],
             membership=membership,
+            overloads=[
+                OverloadEvent(
+                    ov["sites"], float(ov["start_ms"]), float(ov["end_ms"]),
+                    float(ov["interval_ms"]),
+                )
+                for ov in data.get("overloads", ())
+            ],
         )
 
     def to_json(self, *, indent: Optional[int] = None) -> str:

@@ -398,6 +398,51 @@ class Network:
         return self._app_in_flight
 
     # ------------------------------------------------------------------
+    # overload & backpressure (chaos path only; see repro.sim.reliable)
+    # ------------------------------------------------------------------
+    def overloaded(self, site: int) -> bool:
+        """True while any of ``site``'s outbound channels has windowed
+        packets out into its backlog — the transport's backpressure
+        signal.  Always False on the seed path (no transport)."""
+        transport = self.transport
+        return transport is not None and transport.backpressured(site)
+
+    def overload_backlog(self, site: int) -> int:
+        """Total packets backlogged across ``site``'s channels."""
+        transport = self.transport
+        return transport.backlog_of(site) if transport is not None else 0
+
+    def check_overload_admission(self, site: int) -> None:
+        """Raise :class:`~repro.sim.reliable.OverloadError` when
+        ``site``'s backlog exceeds the policy's shed threshold."""
+        transport = self.transport
+        if transport is not None:
+            transport.check_admission(site)
+
+    def backpressure_delay_ms(self) -> float:
+        """Delay a backpressured site applies before its next operation."""
+        transport = self.transport
+        return (transport.policy.backpressure_delay_ms
+                if transport is not None else 0.0)
+
+    def backpressure_limit(self) -> int:
+        """Consecutive delays before an operation proceeds anyway."""
+        transport = self.transport
+        return transport.policy.backpressure_limit if transport is not None else 0
+
+    def count_backpressure_delay(self, site: int) -> None:
+        """Account one backpressure-induced operation delay."""
+        transport = self.transport
+        if transport is not None:
+            transport.count_backpressure_delay(site)
+
+    def count_overload_shed(self, site: int) -> None:
+        """Account one write shed by :class:`OverloadError` at admission."""
+        transport = self.transport
+        if transport is not None:
+            transport.count_overload_shed(site)
+
+    # ------------------------------------------------------------------
     def register(self, site: int, receiver: Callable[[int, object], None]) -> None:
         """Attach the receive callback for ``site``: ``receiver(src, msg)``."""
         self._check_site(site)

@@ -71,6 +71,12 @@ class Site:
         #: (writes and local reads complete synchronously, so from any
         #: other event's perspective this is None unless a fetch is out)
         self._current_index: Optional[int] = None
+        #: consecutive backpressure deferrals of the armed operation;
+        #: capped by the policy's backpressure_limit so a stuck channel
+        #: delays the schedule but can never starve it
+        self._bp_defers = 0
+        #: lifetime count of backpressure-induced operation delays
+        self.backpressure_delays = 0
 
     @property
     def site_id(self) -> int:
@@ -173,6 +179,23 @@ class Site:
     # ------------------------------------------------------------------
     def _execute_next(self) -> None:
         self._op_event = None
+        # transport backpressure: while this site's outbound channels
+        # have windowed-out backlogs, delay the next operation instead
+        # of piling more onto the queues — bounded, so the schedule is
+        # delayed but never starved
+        if self.protocol.backpressured:
+            network = self.protocol.ctx.network
+            limit = network.backpressure_limit()
+            if self._bp_defers < limit:
+                self._bp_defers += 1
+                self.backpressure_delays += 1
+                network.count_backpressure_delay(self.site_id)
+                self._op_event = self.sim.schedule(
+                    network.backpressure_delay_ms(), self._execute_next,
+                    label=f"site{self.site_id} backpressure",
+                )
+                return
+        self._bp_defers = 0
         index = self._next_index
         self._next_index += 1
         self._current_index = index

@@ -10,6 +10,29 @@ reordering within a channel) that the causal protocols assume — so the
 chaos suite can assert the protocols stay correct when the *network*
 misbehaves, not just when latency is adversarial.
 
+Overload robustness (the PR-8 layer):
+
+* **Adaptive retransmission** — each channel estimates its round-trip
+  time with the Jacobson/Karels SRTT + RTTVAR filter and arms its timer
+  at ``SRTT + 4*RTTVAR`` (clamped to ``[min_rto_ms, max_rto_ms]``);
+  Karn's rule excludes retransmitted packets from sampling.  A fixed
+  ``base_rto_ms`` remains available via ``RetransmitPolicy(adaptive=False)``.
+* **Flow control** — at most ``send_window`` packets are in flight per
+  channel; excess sends queue in a durable per-channel backlog, and the
+  receiver's reassembly buffer is bounded by ``reorder_window``.  A
+  non-empty backlog raises a *backpressure* signal that propagates up to
+  protocol PUT admission (:meth:`ReliableTransport.backpressured`), and
+  past ``shed_backlog`` the site sheds load with a typed
+  :class:`OverloadError`.
+* **Paced heal flush** — :meth:`ReliableChannel.flush_retransmit` sends
+  at most ``heal_burst`` packets immediately and paces the remainder
+  across roughly one estimated RTT, so a healed link is not greeted
+  with a go-back-N burst that self-inflicts drops under spike plans.
+* **Circuit breaker** — ``breaker_failures`` consecutive timeouts trip
+  a channel into degraded probe mode (one packet per timeout); the
+  first ack that makes progress closes the breaker and triggers a paced
+  catch-up flush.
+
 The layer is only instantiated when a :class:`~repro.sim.faults.FaultInjector`
 is attached; the default reliable path through ``Network.send`` is
 byte-for-byte the seed behavior (no sequence numbers, no acks, no
@@ -19,6 +42,7 @@ timers — zero overhead when chaos is off).
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
@@ -26,6 +50,7 @@ from .engine import ScheduledEvent
 from .faults import FaultInjector
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from ..obs.metrics import MetricsRegistry
     from .network import Network
 
 #: infra packet interceptor signature:
@@ -36,6 +61,7 @@ __all__ = [
     "RetransmitPolicy",
     "DataPacket",
     "AckPacket",
+    "OverloadError",
     "ReliableChannel",
     "ReliableTransport",
     "ACK_SIZE_BYTES",
@@ -45,12 +71,28 @@ __all__ = [
 ACK_SIZE_BYTES = 20.0
 
 
+class OverloadError(RuntimeError):
+    """A write was refused because the site's outbound backlog exceeds
+    the shed threshold — graceful degradation under overload, the
+    transport analogue of PR-6's typed membership errors."""
+
+    def __init__(self, site: int, backlog: int, threshold: int) -> None:
+        super().__init__(
+            f"site {site} is overloaded: {backlog} packets backlogged "
+            f"(shed threshold {threshold}); retry once the backlog drains"
+        )
+        self.site = site
+        self.backlog = backlog
+        self.threshold = threshold
+
+
 @dataclass(frozen=True)
 class RetransmitPolicy:
-    """Retransmission timer parameters (TCP-ish defaults, simplified)."""
+    """Retransmission timer + flow-control parameters (TCP-ish, simplified)."""
 
-    #: initial retransmission timeout; must exceed one round trip or the
-    #: sender retransmits spuriously (that is allowed, just wasteful)
+    #: initial retransmission timeout; also the fixed RTO when
+    #: ``adaptive=False`` (must exceed one round trip or the sender
+    #: retransmits spuriously — allowed, just wasteful)
     base_rto_ms: float = 250.0
     #: multiplicative backoff applied after every timeout
     backoff: float = 2.0
@@ -58,6 +100,31 @@ class RetransmitPolicy:
     max_rto_ms: float = 8000.0
     #: uniform jitter added to each armed timer (desynchronizes channels)
     jitter_ms: float = 25.0
+    #: estimate the RTO per channel (Jacobson/Karels SRTT + RTTVAR with
+    #: Karn's rule); ``False`` keeps the fixed ``base_rto_ms`` policy
+    adaptive: bool = True
+    #: floor of the adaptive RTO (spurious-retransmit guard)
+    min_rto_ms: float = 50.0
+    #: max packets in flight (unacked) per channel; excess sends queue
+    #: in the channel's backlog and raise backpressure
+    send_window: int = 64
+    #: max out-of-order packets buffered per receiving channel; overflow
+    #: is dropped (the sender's timer re-covers it)
+    reorder_window: int = 256
+    #: max packets retransmitted in one burst by a heal flush; the rest
+    #: is paced across roughly one estimated RTT
+    heal_burst: int = 16
+    #: consecutive timeouts that trip a channel's circuit breaker into
+    #: degraded probe mode (0 disables the breaker)
+    breaker_failures: int = 6
+    #: how long a backpressured site delays its next operation
+    backpressure_delay_ms: float = 5.0
+    #: consecutive delays before an operation proceeds anyway (bounds
+    #: admission latency so a stuck channel cannot starve the schedule)
+    backpressure_limit: int = 64
+    #: total backlogged packets at one sender site beyond which PUT
+    #: admission sheds with :class:`OverloadError` (0 disables shedding)
+    shed_backlog: int = 512
 
     def __post_init__(self) -> None:
         if self.base_rto_ms <= 0 or self.max_rto_ms < self.base_rto_ms:
@@ -66,6 +133,22 @@ class RetransmitPolicy:
             raise ValueError("backoff must be >= 1")
         if self.jitter_ms < 0:
             raise ValueError("jitter must be non-negative")
+        if self.min_rto_ms <= 0 or self.min_rto_ms > self.max_rto_ms:
+            raise ValueError("need 0 < min_rto_ms <= max_rto_ms")
+        if self.send_window < 1:
+            raise ValueError("send_window must be >= 1")
+        if self.reorder_window < 1:
+            raise ValueError("reorder_window must be >= 1")
+        if self.heal_burst < 1:
+            raise ValueError("heal_burst must be >= 1")
+        if self.breaker_failures < 0:
+            raise ValueError("breaker_failures must be >= 0")
+        if self.backpressure_delay_ms <= 0:
+            raise ValueError("backpressure_delay_ms must be positive")
+        if self.backpressure_limit < 1:
+            raise ValueError("backpressure_limit must be >= 1")
+        if self.shed_backlog < 0:
+            raise ValueError("shed_backlog must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -95,13 +178,34 @@ class ReliableChannel:
         # sender side
         self.next_seq = 0
         self.unacked: dict[int, DataPacket] = {}  # insertion-ordered by seq
+        self._backlog: deque[DataPacket] = deque()
         self.rto = policy.base_rto_ms
         self._timer: Optional[ScheduledEvent] = None
         self.retransmissions = 0
+        self.unacked_peak = 0
+        # RTT estimator (Jacobson/Karels); _retx is Karn's-rule taint,
+        # _flight_ok marks seqs with at least one non-dropped attempt in
+        # flight — a later resend of those is spurious by construction
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self.rtt_samples = 0
+        self._sent_at: dict[int, float] = {}
+        self._retx: set[int] = set()
+        self._flight_ok: set[int] = set()
+        # circuit breaker
+        self.consecutive_timeouts = 0
+        self.degraded = False
+        self.breaker_trips = 0
+        # paced heal flush
+        self._flush_queue: deque[int] = deque()
+        self._pacer: Optional[ScheduledEvent] = None
+        self._pace_ms = 0.0
         # receiver side
         self.next_expected = 0
         self._reorder: dict[int, DataPacket] = {}
         self.duplicate_drops = 0
+        self.reorder_peak = 0
+        self.reorder_overflows = 0
 
     @property
     def paused(self) -> bool:
@@ -110,16 +214,42 @@ class ReliableChannel:
         burns — retransmission resumes when the suspicion clears."""
         return (self.src, self.dst) in self.transport.paused_pairs
 
+    @property
+    def pending(self) -> int:
+        """Packets queued durably at this sender (in flight + backlog)."""
+        return len(self.unacked) + len(self._backlog)
+
+    @property
+    def srtt(self) -> Optional[float]:
+        """Smoothed RTT estimate in ms (None before the first sample)."""
+        return self._srtt
+
+    @property
+    def rttvar(self) -> float:
+        """RTT mean-deviation estimate in ms (0 before the first sample)."""
+        return self._rttvar
+
     # ------------------------------------------------------------------
     # sender side
     # ------------------------------------------------------------------
     def send(self, payload: object, size_bytes: float) -> Optional[float]:
         packet = DataPacket(self.next_seq, payload, size_bytes)
         self.next_seq += 1
+        if len(self.unacked) >= self.transport.policy.send_window or self.degraded:
+            # window full (or breaker open): queue durably and signal
+            # backpressure; on_ack promotes in seq order
+            self._backlog.append(packet)
+            self.transport.note_backlog_grow(self.src, len(self._backlog) == 1)
+            return None
         self.unacked[packet.seq] = packet
+        if len(self.unacked) > self.unacked_peak:
+            self.unacked_peak = len(self.unacked)
         if self.paused:
             return None
+        self._sent_at[packet.seq] = self.transport.sim.now
         delivery = self.transport.transmit(self.src, self.dst, packet, size_bytes)
+        if delivery is not None:
+            self._flight_ok.add(packet.seq)
         self._arm_timer()
         return delivery
 
@@ -127,50 +257,160 @@ class ReliableChannel:
         acked = [seq for seq in self.unacked if seq <= cumulative]
         if not acked:
             return
+        transport = self.transport
+        adaptive = transport.policy.adaptive
+        now = transport.sim.now
         for seq in acked:
             del self.unacked[seq]
-        # forward progress: restart the timer from the base timeout
-        self.rto = self.transport.policy.base_rto_ms
+            sent = self._sent_at.pop(seq, None)
+            self._flight_ok.discard(seq)
+            if seq in self._retx:
+                # Karn's rule: a retransmitted packet's ack is ambiguous
+                self._retx.discard(seq)
+            elif adaptive and sent is not None:
+                self._rtt_sample(now - sent)
+        # forward progress: close the breaker and restart the timer from
+        # the freshly-estimated timeout
+        self.consecutive_timeouts = 0
+        reopened = False
+        if self.degraded:
+            self.degraded = False
+            reopened = True
+            transport.count_breaker_close(self.src, self.dst)
+        self.rto = self._fresh_rto()
         self._cancel_timer()
+        if reopened and self.unacked:
+            self.flush_retransmit()  # paced catch-up: the probe got through
+        if not self.paused:
+            self._promote_backlog()
         if self.unacked:
             self._arm_timer()
-        else:
+        elif not self._backlog:
+            self._cancel_pacer()
             self.transport.note_drained(self)
 
+    def _rtt_sample(self, rtt: float) -> None:
+        """Jacobson/Karels: SRTT/RTTVAR EWMA (alpha=1/8, beta=1/4)."""
+        if self._srtt is None:
+            self._srtt = rtt
+            self._rttvar = rtt / 2.0
+        else:
+            err = rtt - self._srtt
+            self._rttvar += 0.25 * (abs(err) - self._rttvar)
+            self._srtt += 0.125 * err
+        self.rtt_samples += 1
+
+    def _fresh_rto(self) -> float:
+        """RTO for a freshly-restarted timer: estimated when samples
+        exist, the static base otherwise (also the fixed-policy path)."""
+        policy = self.transport.policy
+        if not policy.adaptive or self._srtt is None:
+            return policy.base_rto_ms
+        rto = self._srtt + 4.0 * self._rttvar
+        return min(max(rto, policy.min_rto_ms), policy.max_rto_ms)
+
+    def _promote_backlog(self) -> None:
+        """Move backlogged packets into freed window slots and transmit."""
+        if self.degraded or self.paused or not self._backlog:
+            return
+        transport = self.transport
+        window = transport.policy.send_window
+        now = transport.sim.now
+        promoted = 0
+        while self._backlog and len(self.unacked) < window:
+            packet = self._backlog.popleft()
+            promoted += 1
+            self.unacked[packet.seq] = packet
+            self._sent_at[packet.seq] = now
+            delivery = transport.transmit(self.src, self.dst, packet,
+                                          packet.size_bytes)
+            if delivery is not None:
+                self._flight_ok.add(packet.seq)
+        if promoted:
+            transport.note_backlog_shrink(self.src, promoted,
+                                          not self._backlog)
+            if len(self.unacked) > self.unacked_peak:
+                self.unacked_peak = len(self.unacked)
+            self._arm_timer()
+
     def flush_retransmit(self) -> None:
-        """Eagerly retransmit everything unacked (used when a partition
-        heals: no reason to sit out the backed-off timeout)."""
+        """Eagerly retransmit the unacked backlog (partition heal,
+        suspicion cleared, rejoin): at most ``heal_burst`` packets now,
+        the rest paced across roughly one estimated RTT."""
         if not self.unacked or self.paused:
             return
-        self.rto = self.transport.policy.base_rto_ms
+        transport = self.transport
+        policy = transport.policy
+        self.consecutive_timeouts = 0
+        if self.degraded:
+            self.degraded = False
+            transport.count_breaker_close(self.src, self.dst)
+        self.rto = self._fresh_rto()
         self._cancel_timer()
-        self._retransmit_all()
-        self._arm_timer()
+        self._cancel_pacer()
+        seqs = sorted(self.unacked)
+        burst = policy.heal_burst
+        self._retransmit_seqs(seqs[:burst])
+        rest = seqs[burst:]
+        if rest:
+            self._flush_queue.extend(rest)
+            chunks = -(-len(rest) // burst)  # ceil division
+            rtt_est = (self._srtt if self._srtt is not None
+                       else policy.base_rto_ms / 2.0)
+            self._pace_ms = max(rtt_est / chunks, 0.01)
+            self._schedule_pacer()
+        else:
+            self._arm_timer()
 
     def _retransmit_all(self) -> None:
         # go-back-N: resend every unacked packet in sequence order; the
         # receiver's reorder buffer absorbs any that already arrived
-        tracer = self.transport.net.tracer
-        for seq in sorted(self.unacked):
+        self._retransmit_seqs(sorted(self.unacked))
+
+    def _retransmit_seqs(self, seqs: list[int]) -> None:
+        transport = self.transport
+        tracer = transport.net.tracer
+        now = transport.sim.now
+        for seq in seqs:
             packet = self.unacked[seq]
             self.retransmissions += 1
-            self.transport.count_retransmission()
+            self._retx.add(seq)  # Karn: this seq's RTT is ambiguous now
+            if seq in self._flight_ok:
+                # a prior attempt is (or was) en route undropped — this
+                # resend duplicates work the network already did
+                transport.count_spurious_retransmission()
+            transport.count_retransmission(self.src, packet.size_bytes)
             if tracer is not None:
                 tracer.msg_retransmit(self.src, self.dst, packet.payload,
-                                      ts=self.transport.sim.now)
-            self.transport.transmit(self.src, self.dst, packet, packet.size_bytes)
+                                      ts=now)
+            delivery = transport.transmit(self.src, self.dst, packet,
+                                          packet.size_bytes)
+            if delivery is not None:
+                self._flight_ok.add(seq)
 
     def _on_timeout(self) -> None:
         self._timer = None
         if not self.unacked or self.paused:
             return
-        self._retransmit_all()
-        self.rto = min(self.rto * self.transport.policy.backoff,
-                       self.transport.policy.max_rto_ms)
+        policy = self.transport.policy
+        self.consecutive_timeouts += 1
+        if (not self.degraded and policy.breaker_failures > 0
+                and self.consecutive_timeouts >= policy.breaker_failures):
+            # circuit breaker: the channel looks dead — stop multiplying
+            # its pain and probe with a single packet per timeout
+            self.degraded = True
+            self.breaker_trips += 1
+            self.transport.count_breaker_trip(self.src, self.dst)
+        if self.degraded:
+            self._retransmit_seqs(sorted(self.unacked)[:1])
+        else:
+            self._retransmit_all()
+        self.rto = min(self.rto * policy.backoff, policy.max_rto_ms)
         self._arm_timer()
 
     def _arm_timer(self) -> None:
-        if self._timer is not None or not self.unacked or self.paused:
+        if (self._timer is not None or self._pacer is not None
+                or not self.unacked or self.paused):
             return
         policy = self.transport.policy
         jitter = (
@@ -188,6 +428,50 @@ class ReliableChannel:
             self._timer = None
 
     # ------------------------------------------------------------------
+    # paced heal flush
+    # ------------------------------------------------------------------
+    def _schedule_pacer(self) -> None:
+        self._pacer = self.transport.sim.schedule(
+            self._pace_ms, self._on_pacer,
+            label=f"pace {self.src}->{self.dst}",
+        )
+
+    def _on_pacer(self) -> None:
+        self._pacer = None
+        if self.paused:
+            self._flush_queue.clear()
+            return
+        burst = self.transport.policy.heal_burst
+        chunk: list[int] = []
+        while self._flush_queue and len(chunk) < burst:
+            seq = self._flush_queue.popleft()
+            if seq in self.unacked:  # skip anything acked meanwhile
+                chunk.append(seq)
+        if chunk:
+            self._retransmit_seqs(chunk)
+        if self._flush_queue:
+            self._schedule_pacer()
+        elif self.unacked:
+            self._arm_timer()
+
+    def _cancel_pacer(self) -> None:
+        self._flush_queue.clear()
+        if self._pacer is not None:
+            self._pacer.cancel()
+            self._pacer = None
+
+    def _reset_estimator(self) -> None:
+        """Volatile sender state dies with a crash of ``src``; the
+        durable unacked/backlog queues and seq numbers survive."""
+        self._srtt = None
+        self._rttvar = 0.0
+        self._sent_at.clear()
+        self._retx.clear()
+        self._flight_ok.clear()
+        self.consecutive_timeouts = 0
+        self.degraded = False
+
+    # ------------------------------------------------------------------
     # receiver side
     # ------------------------------------------------------------------
     def on_data(self, packet: DataPacket) -> None:
@@ -196,18 +480,30 @@ class ReliableChannel:
             # still ack so the sender stops resending
             self.duplicate_drops += 1
             self.transport.count_duplicate_drop()
+        elif (packet.seq != self.next_expected
+              and len(self._reorder) >= self.transport.policy.reorder_window):
+            # bounded reassembly: the buffer is full of other gaps, so
+            # the out-of-order packet is dropped; the cumulative ack
+            # below shows the sender where the gap starts and its timer
+            # re-covers the loss.  An in-order packet is always taken —
+            # it drains the buffer instead of growing it.
+            self.reorder_overflows += 1
+            self.transport.count_reorder_overflow()
         else:
             self._reorder[packet.seq] = packet
             while self.next_expected in self._reorder:
                 ready = self._reorder.pop(self.next_expected)
                 self.next_expected += 1
                 self.transport.deliver_app(self.src, self.dst, ready.payload)
+            if len(self._reorder) > self.reorder_peak:
+                self.reorder_peak = len(self._reorder)
         self.transport.send_ack(self.dst, self.src, self.next_expected - 1)
 
     def __repr__(self) -> str:
         return (
             f"<ReliableChannel {self.src}->{self.dst} next_seq={self.next_seq} "
-            f"unacked={len(self.unacked)} expected={self.next_expected}>"
+            f"unacked={len(self.unacked)} backlog={len(self._backlog)} "
+            f"expected={self.next_expected}>"
         )
 
 
@@ -236,9 +532,21 @@ class ReliableTransport:
         self.packet_handlers: list[PacketHandler] = []
         # aggregate counters (mirrored into the collector when attached)
         self.retransmissions = 0
+        self.retransmission_bytes = 0.0
+        self.spurious_retransmissions = 0
         self.duplicate_drops = 0
+        self.reorder_overflows = 0
         self.acks_sent = 0
         self.ack_bytes = 0.0
+        self.breaker_trips = 0
+        self.breaker_closes = 0
+        self.backpressure_delays = 0
+        self.overload_sheds = 0
+        #: backpressure bookkeeping: per-site count of channels with a
+        #: non-empty backlog, and total backlogged packets per site —
+        #: both O(1) to query on the admission path
+        self._bp_channels: dict[int, int] = {}
+        self._backlog_total: dict[int, int] = {}
         for p in injector.plan.partitions:
             if math.isfinite(p.heal_ms):
                 self.sim.schedule_at(
@@ -300,21 +608,36 @@ class ReliableTransport:
         self.ack_bytes += ACK_SIZE_BYTES
         if self.net.collector is not None:
             self.net.collector.record_ack(ACK_SIZE_BYTES)
-        if self.net.registry is not None:
-            self.net.registry.inc(
+        registry = self.net.registry
+        if registry is not None:
+            registry.inc(
                 "net_acks_total",
                 help_text="cumulative-ack packets sent by the reliable layer")
+            registry.ledger.record_transport("ack", from_site, ACK_SIZE_BYTES)
         self.net._transmit_raw(from_site, to_site, AckPacket(cumulative),
                                ACK_SIZE_BYTES)
 
-    def count_retransmission(self) -> None:
+    def count_retransmission(self, src: int, size_bytes: float) -> None:
         self.retransmissions += 1
+        self.retransmission_bytes += size_bytes
         if self.net.collector is not None:
-            self.net.collector.record_retransmission()
-        if self.net.registry is not None:
-            self.net.registry.inc(
+            self.net.collector.record_retransmission(size_bytes=size_bytes)
+        registry = self.net.registry
+        if registry is not None:
+            registry.inc(
                 "net_retransmissions_total",
                 help_text="timer- or heal-driven retransmissions")
+            registry.ledger.record_transport("retransmit", src, size_bytes)
+
+    def count_spurious_retransmission(self) -> None:
+        self.spurious_retransmissions += 1
+        if self.net.collector is not None:
+            self.net.collector.record_spurious_retransmission()
+        if self.net.registry is not None:
+            self.net.registry.inc(
+                "net_spurious_retransmissions_total",
+                help_text="retransmissions of packets that already had a "
+                          "non-dropped attempt in flight")
 
     def count_duplicate_drop(self) -> None:
         self.duplicate_drops += 1
@@ -327,16 +650,105 @@ class ReliableTransport:
         if self.net.tracer is not None:
             self.net.tracer.timeseries.incr("net.dup_drops", self.sim.now)
 
+    def count_reorder_overflow(self) -> None:
+        self.reorder_overflows += 1
+        if self.net.collector is not None:
+            self.net.collector.record_reorder_overflow()
+        if self.net.registry is not None:
+            self.net.registry.inc(
+                "net_reorder_overflows_total",
+                help_text="out-of-order packets dropped by full "
+                          "reassembly buffers")
+
+    def count_breaker_trip(self, src: int, dst: int) -> None:
+        self.breaker_trips += 1
+        if self.net.collector is not None:
+            self.net.collector.record_breaker(opened=True)
+        if self.net.registry is not None:
+            self.net.registry.inc(
+                "net_breaker_trips_total",
+                help_text="channels tripped into degraded probe mode")
+
+    def count_breaker_close(self, src: int, dst: int) -> None:
+        self.breaker_closes += 1
+        if self.net.collector is not None:
+            self.net.collector.record_breaker(opened=False)
+        if self.net.registry is not None:
+            self.net.registry.inc(
+                "net_breaker_closes_total",
+                help_text="degraded channels restored by ack progress "
+                          "or heal")
+
+    def count_backpressure_delay(self, site: int) -> None:
+        self.backpressure_delays += 1
+        if self.net.collector is not None:
+            self.net.collector.record_backpressure_delay()
+        if self.net.registry is not None:
+            self.net.registry.inc(
+                "net_backpressure_delays_total",
+                help_text="operations delayed by transport backpressure")
+
+    def count_overload_shed(self, site: int) -> None:
+        self.overload_sheds += 1
+        if self.net.collector is not None:
+            self.net.collector.record_overload_shed()
+        if self.net.registry is not None:
+            self.net.registry.inc(
+                "net_overload_sheds_total",
+                help_text="writes shed by OverloadError at admission")
+
+    # ------------------------------------------------------------------
+    # backpressure & admission
+    # ------------------------------------------------------------------
+    def note_backlog_grow(self, site: int, became_nonempty: bool) -> None:
+        self._backlog_total[site] = self._backlog_total.get(site, 0) + 1
+        if became_nonempty:
+            self._bp_channels[site] = self._bp_channels.get(site, 0) + 1
+
+    def note_backlog_shrink(self, site: int, n: int,
+                            became_empty: bool) -> None:
+        remaining = self._backlog_total.get(site, 0) - n
+        if remaining > 0:
+            self._backlog_total[site] = remaining
+        else:
+            self._backlog_total.pop(site, None)
+        if became_empty:
+            count = self._bp_channels.get(site, 0) - 1
+            if count > 0:
+                self._bp_channels[site] = count
+            else:
+                self._bp_channels.pop(site, None)
+
+    def backpressured(self, site: int) -> bool:
+        """True while any of ``site``'s channels has a queued backlog."""
+        return site in self._bp_channels
+
+    def backlog_of(self, site: int) -> int:
+        """Total backlogged packets across ``site``'s channels."""
+        return self._backlog_total.get(site, 0)
+
+    def check_admission(self, site: int) -> None:
+        """Shed a PUT with :class:`OverloadError` past the threshold."""
+        threshold = self.policy.shed_backlog
+        if threshold > 0:
+            backlog = self._backlog_total.get(site, 0)
+            if backlog >= threshold:
+                self.count_overload_shed(site)
+                raise OverloadError(site, backlog, threshold)
+
     # ------------------------------------------------------------------
     # heal handling & recovery-latency tracking
     # ------------------------------------------------------------------
     def on_heal(self, heal_time: float, group: frozenset[int]) -> None:
-        """A partition isolating ``group`` healed: retransmit eagerly and
-        start the per-site recovery clock for every site with a backlog."""
+        """A partition isolating ``group`` healed: retransmit eagerly
+        (paced) and start the per-site recovery clock for every site
+        with a backlog."""
         for (src, dst), ch in self._channels.items():
-            if ((src in group) != (dst in group)) and ch.unacked:
+            if ((src in group) != (dst in group)) and (ch.unacked
+                                                       or ch._backlog):
                 self._recovering.setdefault(dst, heal_time)
                 ch.flush_retransmit()
+                ch._promote_backlog()
 
     def note_drained(self, channel: ReliableChannel) -> None:
         """A channel's unacked buffer emptied; close out recovery if the
@@ -345,7 +757,8 @@ class ReliableTransport:
         heal_time = self._recovering.get(site)
         if heal_time is None:
             return
-        if any(ch.unacked for (_, d), ch in self._channels.items() if d == site):
+        if any(ch.pending for (_, d), ch in self._channels.items()
+               if d == site):
             return
         del self._recovering[site]
         if self.net.collector is not None:
@@ -367,89 +780,110 @@ class ReliableTransport:
         ch = self._channels.get((src, dst))
         if ch is not None:
             ch._cancel_timer()
+            ch._cancel_pacer()
 
     def resume_pair(self, src: int, dst: int, *, flush: bool = True) -> None:
         """Clear a suspicion pause; optionally retransmit the backlog at
-        the base timeout immediately (the rejoin path wants this)."""
+        the freshly-estimated timeout immediately (the rejoin path
+        wants this)."""
         if (src, dst) not in self.paused_pairs:
             return
         self.paused_pairs.discard((src, dst))
         ch = self._channels.get((src, dst))
-        if ch is not None and ch.unacked:
+        if ch is not None and (ch.unacked or ch._backlog):
             if flush:
                 ch.flush_retransmit()
+                ch._promote_backlog()
             else:
-                ch.rto = self.policy.base_rto_ms
+                ch.rto = ch._fresh_rto()
                 ch._arm_timer()
 
     def on_site_crash(self, site: int) -> None:
         """Volatile transport state of ``site`` dies with it.
 
-        Its sender timers and suspicion bookkeeping vanish; its receive
-        reassembly buffers are wiped (everything in them was still
-        unacked at the senders, so nothing acked is lost — the
-        ack-implies-durable invariant).  ``next_seq``/``next_expected``
-        and the unacked queues survive: they mirror durable state.
+        Its sender timers, RTT estimators, breaker state, and suspicion
+        bookkeeping vanish; its receive reassembly buffers are wiped
+        (everything in them was still unacked at the senders, so nothing
+        acked is lost — the ack-implies-durable invariant).
+        ``next_seq``/``next_expected`` and the unacked/backlog queues
+        survive: they mirror durable state.
         """
         # simcheck: ignore[SIM003] -- set-to-set filter; construction order is never observable
         self.paused_pairs = {p for p in self.paused_pairs if p[0] != site}
         for (src, dst), ch in self._channels.items():
             if src == site:
                 ch._cancel_timer()
+                ch._cancel_pacer()
+                ch._reset_estimator()
             if dst == site:
                 ch._reorder.clear()
+                # packets in flight toward the dead site died on the
+                # wire, so a later resend of them is not spurious
+                ch._flight_ok.clear()
 
     def forget_site(self, site: int) -> None:
         """Elastic membership: ``site`` left the view for good.
 
         Every channel involving it is torn down — timers cancelled,
-        unacked queues and reorder buffers discarded (the view-change
-        fence already drained live traffic; whatever remains was
-        addressed to or queued at the departed site and is void),
-        suspicion pauses and recovery clocks cleared.
+        unacked/backlog queues and reorder buffers discarded (the
+        view-change fence already drained live traffic; whatever remains
+        was addressed to or queued at the departed site and is void),
+        suspicion pauses, backpressure tallies, and recovery clocks
+        cleared.
         """
         for key in [k for k in self._channels if site in k]:
             ch = self._channels.pop(key)
             ch._cancel_timer()
+            ch._cancel_pacer()
+            if ch._backlog:
+                self.note_backlog_shrink(ch.src, len(ch._backlog), True)
+                ch._backlog.clear()
             ch.unacked.clear()
             ch._reorder.clear()
+            ch._sent_at.clear()
+            ch._retx.clear()
+            ch._flight_ok.clear()
         # simcheck: ignore[SIM003] -- set-to-set filter; construction order is never observable
         self.paused_pairs = {p for p in self.paused_pairs if site not in p}
         self._recovering.pop(site, None)
+        self._bp_channels.pop(site, None)
+        self._backlog_total.pop(site, None)
 
     def on_site_recover(self, site: int) -> None:
         """Rejoin: the revived site flushes its own durable backlog."""
         for (src, dst), ch in self._channels.items():
-            if src == site and ch.unacked:
+            if src == site and (ch.unacked or ch._backlog):
                 ch.flush_retransmit()
+                ch._promote_backlog()
 
     def unacked_to(self, site: int, *, from_live_only: bool = False,
                    down: "Optional[set[int]]" = None) -> int:
-        """Unacked packets destined to ``site`` (optionally only from
-        senders that are currently up — a dead sender's frozen backlog
-        cannot drain until it rejoins)."""
+        """Packets queued durably toward ``site`` — unacked in flight
+        plus windowed-out backlog (optionally only from senders that are
+        currently up — a dead sender's frozen backlog cannot drain until
+        it rejoins)."""
         total = 0
         for (src, dst), ch in self._channels.items():
             if dst != site:
                 continue
             if from_live_only and down and src in down:
                 continue
-            total += len(ch.unacked)
+            total += ch.pending
         return total
 
     def unacked_between_live(self, down: "set[int]") -> int:
-        """Unacked packets on channels whose both endpoints are up."""
+        """Queued packets on channels whose both endpoints are up."""
         return sum(
-            len(ch.unacked) for (src, dst), ch in self._channels.items()
+            ch.pending for (src, dst), ch in self._channels.items()
             if src not in down and dst not in down
         )
 
     def blocked_channels(self, now: float) -> list[tuple[int, int]]:
-        """Channels with unacked packets severed by a never-healing
+        """Channels with queued packets severed by a never-healing
         partition — traffic that can never drain without a ``heal()``."""
         blocked = []
         for (src, dst), ch in self._channels.items():
-            if ch.unacked and self.injector.severed(src, dst, now) and any(
+            if ch.pending and self.injector.severed(src, dst, now) and any(
                 (src in g) != (dst in g)
                 for g in self.injector.unhealed_partitions(now)
             ):
@@ -457,5 +891,61 @@ class ReliableTransport:
         return blocked
 
     def unacked_count(self) -> int:
-        """Packets somewhere between first transmission and ack."""
-        return sum(len(ch.unacked) for ch in self._channels.values())
+        """Packets somewhere between first send and ack (incl. backlog)."""
+        return sum(ch.pending for ch in self._channels.values())
+
+    def backlog_count(self) -> int:
+        """Packets windowed out into channel backlogs right now."""
+        return sum(len(ch._backlog) for ch in self._channels.values())
+
+    # ------------------------------------------------------------------
+    # end-of-run metrics export
+    # ------------------------------------------------------------------
+    def sample_channel_metrics(self, registry: "MetricsRegistry") -> None:
+        """Export per-channel transport state as labeled gauges/counters.
+
+        Sampled once at quiescence: per-packet label resolution on the
+        hot path would cost far more than the numbers are worth.
+        """
+        for key in sorted(self._channels):
+            ch = self._channels[key]
+            src, dst = key
+            registry.set_gauge(
+                "net_channel_rto_ms", ch.rto,
+                help_text="retransmission timeout at quiescence",
+                src=src, dst=dst)
+            registry.set_gauge(
+                "net_channel_srtt_ms",
+                ch.srtt if ch.srtt is not None else 0.0,
+                help_text="smoothed RTT estimate (0 = no samples)",
+                src=src, dst=dst)
+            registry.set_gauge(
+                "net_channel_unacked", len(ch.unacked),
+                help_text="unacked packets in flight at quiescence",
+                src=src, dst=dst)
+            registry.set_gauge(
+                "net_channel_unacked_peak", ch.unacked_peak,
+                help_text="peak in-flight window occupancy over the run",
+                src=src, dst=dst)
+            registry.set_gauge(
+                "net_channel_backlog", len(ch._backlog),
+                help_text="windowed-out backlog depth at quiescence",
+                src=src, dst=dst)
+            registry.set_gauge(
+                "net_channel_reorder", len(ch._reorder),
+                help_text="reassembly-buffer occupancy at quiescence",
+                src=src, dst=dst)
+            registry.set_gauge(
+                "net_channel_reorder_peak", ch.reorder_peak,
+                help_text="peak reassembly-buffer occupancy over the run",
+                src=src, dst=dst)
+            if ch.duplicate_drops:
+                registry.inc(
+                    "net_channel_duplicate_drops_total", ch.duplicate_drops,
+                    help_text="duplicates suppressed by this receiver",
+                    src=src, dst=dst)
+            if ch.retransmissions:
+                registry.inc(
+                    "net_channel_retransmissions_total", ch.retransmissions,
+                    help_text="retransmissions sent on this channel",
+                    src=src, dst=dst)

@@ -71,3 +71,65 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "ratio" in out
+
+
+class TestOverloadFlags:
+    def test_overload_plan_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "--overload-plan", "900:2600:25:0,2",
+             "--overload-plan", "3200:3800:15:2"])
+        assert args.overload_plan == ["900:2600:25:0,2", "3200:3800:15:2"]
+
+    def test_bad_overload_plan_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "-n", "3", "--ops", "5",
+                  "--overload-plan", "not-a-plan"])
+
+    def test_rto_flags_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--adaptive-rto", "--fixed-rto"])
+
+    def test_run_with_overload_and_window(self, capsys):
+        rc = main(["run", "-n", "3", "-q", "10", "--ops", "15",
+                   "--protocol", "optp", "--drop-rate", "0.05",
+                   "--overload-plan", "100:400:50:0",
+                   "--send-window", "8", "--check"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "causal consistency: OK" in out
+
+    def test_run_with_fixed_rto(self, capsys):
+        rc = main(["run", "-n", "3", "-q", "10", "--ops", "15",
+                   "--protocol", "optp", "--drop-rate", "0.1",
+                   "--fixed-rto", "--check"])
+        assert rc == 0
+        assert "causal consistency: OK" in capsys.readouterr().out
+
+    def test_bad_send_window_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "-n", "3", "--ops", "5", "--drop-rate", "0.1",
+                  "--send-window", "0"])
+
+
+class TestSoakCommand:
+    def test_soak_parser_defaults(self):
+        args = build_parser().parse_args(["soak"])
+        assert args.protocols is None
+        assert args.seeds == "1,2,3"
+
+    def test_unknown_soak_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["soak", "--protocols", "bogus", "--seeds", "1"])
+
+    def test_bad_seeds_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["soak", "--seeds", "x,y"])
+
+    def test_soak_single_cell(self, tmp_path, capsys):
+        rc = main(["soak", "--protocols", "optp", "--seeds", "1",
+                   "--ops", "25", "--no-determinism", "--no-rto-compare",
+                   "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "soak: PASS" in out
+        assert (tmp_path / "soak_report.json").exists()

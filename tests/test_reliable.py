@@ -19,14 +19,14 @@ FAST = RetransmitPolicy(base_rto_ms=50.0, max_rto_ms=800.0, jitter_ms=5.0)
 
 
 def make_net(n=2, drop=0.0, dup=0.0, spike=0.0, partitions=(), seed=0,
-             latency=None, collector=None):
+             latency=None, collector=None, policy=None):
     sim = Simulator()
     plan = FaultPlan.uniform(drop_rate=drop, dup_rate=dup, spike_rate=spike,
                              partitions=partitions)
     injector = FaultInjector(plan, rng=np.random.default_rng(seed))
     net = Network(sim, n, latency or ConstantLatency(10.0),
                   rng=np.random.default_rng(1), faults=injector,
-                  collector=collector, retransmit=FAST)
+                  collector=collector, retransmit=policy or FAST)
     return sim, net, injector
 
 
@@ -206,3 +206,300 @@ class TestReliableDelivery:
         sim.run()
         assert got[1] == [("a", k) for k in range(15)]
         assert got[0] == [("b", k) for k in range(15)]
+
+
+class TestRetransmitPolicyValidation:
+    def test_rto_bounds(self):
+        with pytest.raises(ValueError, match="base_rto_ms"):
+            RetransmitPolicy(base_rto_ms=0.0)
+        with pytest.raises(ValueError, match="base_rto_ms"):
+            RetransmitPolicy(base_rto_ms=500.0, max_rto_ms=100.0)
+        with pytest.raises(ValueError, match="min_rto_ms"):
+            RetransmitPolicy(min_rto_ms=0.0)
+        with pytest.raises(ValueError, match="min_rto_ms"):
+            RetransmitPolicy(min_rto_ms=9000.0, max_rto_ms=8000.0)
+
+    def test_backoff_and_jitter(self):
+        with pytest.raises(ValueError, match="backoff"):
+            RetransmitPolicy(backoff=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetransmitPolicy(jitter_ms=-1.0)
+
+    def test_window_and_overload_knobs(self):
+        with pytest.raises(ValueError, match="send_window"):
+            RetransmitPolicy(send_window=0)
+        with pytest.raises(ValueError, match="reorder_window"):
+            RetransmitPolicy(reorder_window=0)
+        with pytest.raises(ValueError, match="heal_burst"):
+            RetransmitPolicy(heal_burst=0)
+        with pytest.raises(ValueError, match="breaker_failures"):
+            RetransmitPolicy(breaker_failures=-1)
+        with pytest.raises(ValueError, match="backpressure_delay_ms"):
+            RetransmitPolicy(backpressure_delay_ms=0.0)
+        with pytest.raises(ValueError, match="backpressure_limit"):
+            RetransmitPolicy(backpressure_limit=0)
+        with pytest.raises(ValueError, match="shed_backlog"):
+            RetransmitPolicy(shed_backlog=-1)
+
+    def test_defaults_are_valid(self):
+        RetransmitPolicy()  # must not raise
+
+
+class TestAdaptiveRto:
+    def test_rtt_samples_tighten_the_timer(self):
+        # constant 10 ms hops -> 20 ms data+ack RTT; the estimator must
+        # converge well below the 200 ms configured base
+        pol = RetransmitPolicy(base_rto_ms=200.0, max_rto_ms=800.0,
+                               jitter_ms=5.0, min_rto_ms=10.0)
+        sim, net, _ = make_net(policy=pol)
+        net.register(1, lambda s, m: None)
+        net.register(0, lambda s, m: None)
+        for k in range(10):
+            net.send(0, 1, k)
+        sim.run()
+        ch = net.transport.channel(0, 1)
+        assert ch.rtt_samples == 10
+        assert ch.srtt == pytest.approx(20.0, abs=1.0)
+        assert pol.min_rto_ms <= ch.rto < pol.base_rto_ms
+
+    def test_fixed_policy_never_samples(self):
+        pol = RetransmitPolicy(base_rto_ms=200.0, max_rto_ms=800.0,
+                               jitter_ms=5.0, adaptive=False)
+        sim, net, _ = make_net(policy=pol)
+        net.register(1, lambda s, m: None)
+        net.register(0, lambda s, m: None)
+        for k in range(10):
+            net.send(0, 1, k)
+        sim.run()
+        ch = net.transport.channel(0, 1)
+        assert ch.srtt is None
+        assert ch.rto == pol.base_rto_ms
+
+    def test_karn_excludes_retransmitted_packets(self):
+        # under heavy drops every retransmitted seq is ambiguous; Karn's
+        # rule keeps those acks out of the estimator
+        sim, net, _ = make_net(drop=0.5, seed=11)
+        got = []
+        net.register(1, lambda s, m: got.append(m))
+        net.register(0, lambda s, m: None)
+        for k in range(25):
+            net.send(0, 1, k)
+        sim.run()
+        ch = net.transport.channel(0, 1)
+        assert got == list(range(25))
+        assert ch.retransmissions > 0
+        assert ch.rtt_samples < 25
+
+    def test_spurious_retransmissions_detected(self):
+        # no drops: every timer firing is premature by construction
+        pol = RetransmitPolicy(base_rto_ms=5.0, max_rto_ms=800.0,
+                               jitter_ms=1.0, adaptive=False)
+        sim, net, _ = make_net(policy=pol)
+        got = []
+        net.register(1, lambda s, m: got.append(m))
+        net.register(0, lambda s, m: None)
+        for k in range(5):
+            net.send(0, 1, k)
+        sim.run()
+        assert got == list(range(5))
+        t = net.transport
+        assert t.retransmissions > 0
+        assert t.spurious_retransmissions == t.retransmissions
+
+
+class TestFlowControl:
+    def test_send_window_bounds_in_flight(self):
+        pol = RetransmitPolicy(base_rto_ms=50.0, max_rto_ms=800.0,
+                               jitter_ms=5.0, send_window=4)
+        sim, net, _ = make_net(policy=pol)
+        got = []
+        net.register(1, lambda s, m: got.append(m))
+        net.register(0, lambda s, m: None)
+        for k in range(20):
+            net.send(0, 1, k)
+        ch = net.transport.channel(0, 1)
+        assert len(ch.unacked) == 4          # window full
+        assert len(ch._backlog) == 16        # rest queued
+        assert net.transport.backpressured(0)
+        assert net.transport.backlog_of(0) == 16
+        sim.run()
+        assert got == list(range(20))
+        assert ch.unacked_peak <= 4
+        assert ch.pending == 0
+        assert not net.transport.backpressured(0)
+
+    def test_admission_sheds_over_threshold(self):
+        from repro.sim.reliable import OverloadError
+
+        pol = RetransmitPolicy(base_rto_ms=50.0, max_rto_ms=800.0,
+                               jitter_ms=5.0, send_window=1, shed_backlog=3)
+        sim, net, _ = make_net(
+            policy=pol, partitions=(Partition([1], 0.0, math.inf),))
+        net.register(1, lambda s, m: None)
+        net.register(0, lambda s, m: None)
+        for k in range(5):
+            net.send(0, 1, k)
+        net.transport.check_admission(1)  # other site: clean
+        with pytest.raises(OverloadError) as exc:
+            net.transport.check_admission(0)
+        assert exc.value.site == 0
+        assert exc.value.backlog >= 3
+        assert net.transport.overload_sheds == 1
+
+    def test_admission_disabled_by_default_policy_zero(self):
+        pol = RetransmitPolicy(base_rto_ms=50.0, max_rto_ms=800.0,
+                               jitter_ms=5.0, send_window=1, shed_backlog=0)
+        sim, net, _ = make_net(
+            policy=pol, partitions=(Partition([1], 0.0, math.inf),))
+        net.register(1, lambda s, m: None)
+        net.register(0, lambda s, m: None)
+        for k in range(10):
+            net.send(0, 1, k)
+        net.transport.check_admission(0)  # 0 disables shedding
+
+
+class TestReorderBuffer:
+    def test_overflow_is_bounded_and_recovered(self):
+        # aggressive spikes reorder raw packets; a 2-slot reassembly
+        # buffer must overflow (drop + retransmit) yet deliver in order
+        pol = RetransmitPolicy(base_rto_ms=50.0, max_rto_ms=800.0,
+                               jitter_ms=5.0, reorder_window=2)
+        sim, net, inj = make_net(policy=pol, spike=0.6, seed=12,
+                                 latency=UniformLatency(1.0, 20.0))
+        got = []
+        net.register(1, lambda s, m: got.append(m))
+        net.register(0, lambda s, m: None)
+        for k in range(40):
+            net.send(0, 1, k)
+        sim.run()
+        assert got == list(range(40))
+        assert inj.spikes > 0
+        ch = net.transport.channel(0, 1)
+        assert ch.reorder_overflows > 0
+        assert ch.reorder_peak <= 2
+        assert net.transport.reorder_overflows >= ch.reorder_overflows
+
+
+class TestPausedChannelTimers:
+    def test_no_timer_fires_while_paused(self):
+        # a severed destination normally burns RTO timers (see
+        # test_backoff_caps_at_max_rto); pausing must park them
+        sim, net, _ = make_net(partitions=(Partition([1], 0.0, math.inf),))
+        net.register(1, lambda s, m: None)
+        net.register(0, lambda s, m: None)
+        net.send(0, 1, "x")
+        net.transport.pause_pair(0, 1)
+        sim.run(until=5_000.0)  # 100x the RTO with the timer parked
+        ch = net.transport.channel(0, 1)
+        assert ch.retransmissions == 0
+        assert ch.unacked  # still owed
+        net.transport.resume_pair(0, 1, flush=True)
+        sim.run(until=10_000.0)
+        assert ch.retransmissions > 0  # timers burn again after resume
+
+    def test_send_while_paused_backlogs(self):
+        sim, net, _ = make_net()
+        net.register(1, lambda s, m: None)
+        net.register(0, lambda s, m: None)
+        net.transport.pause_pair(0, 1)
+        got = []
+        net.register(1, lambda s, m: got.append(m))
+        for k in range(3):
+            net.send(0, 1, k)
+        sim.run(until=1_000.0)
+        assert got == []
+        net.transport.resume_pair(0, 1, flush=True)
+        sim.run()
+        assert got == [0, 1, 2]
+
+
+class TestPacedHealFlush:
+    def test_heal_flush_is_paced_not_burst(self):
+        # 12 packets stuck behind a partition with heal_burst=4: the heal
+        # must NOT retransmit everything in the same instant
+        pol = RetransmitPolicy(base_rto_ms=5_000.0, max_rto_ms=20_000.0,
+                               jitter_ms=0.0, heal_burst=4, send_window=64)
+        sim, net, _ = make_net(
+            policy=pol, partitions=(Partition([1], 0.0, 500.0),))
+        got = []
+        net.register(1, lambda s, m: got.append(m))
+        net.register(0, lambda s, m: None)
+        for k in range(12):
+            net.send(0, 1, k)
+        sim.run(until=499.0)
+        assert got == []
+        # just after the heal + one hop: only the leading burst arrived
+        sim.run(until=512.0)
+        assert 0 < len(got) < 12
+        sim.run()
+        assert got == list(range(12))
+
+    def test_burst_smaller_than_heal_burst_flushes_at_once(self):
+        pol = RetransmitPolicy(base_rto_ms=5_000.0, max_rto_ms=20_000.0,
+                               jitter_ms=0.0, heal_burst=16)
+        sim, net, _ = make_net(
+            policy=pol, partitions=(Partition([1], 0.0, 500.0),))
+        got = []
+        net.register(1, lambda s, m: got.append(m))
+        net.register(0, lambda s, m: None)
+        for k in range(4):
+            net.send(0, 1, k)
+        sim.run(until=512.0)
+        assert got == list(range(4))  # under the burst: no pacing delay
+
+
+class TestCircuitBreaker:
+    def test_breaker_trips_probes_then_closes(self):
+        pol = RetransmitPolicy(base_rto_ms=50.0, max_rto_ms=200.0,
+                               jitter_ms=0.0, breaker_failures=2,
+                               adaptive=False)
+        sim, net, _ = make_net(
+            policy=pol, partitions=(Partition([1], 0.0, 2_000.0),))
+        got = []
+        net.register(1, lambda s, m: got.append(m))
+        net.register(0, lambda s, m: None)
+        for k in range(6):
+            net.send(0, 1, k)
+        sim.run(until=1_900.0)
+        ch = net.transport.channel(0, 1)
+        assert ch.degraded          # breaker open while severed
+        assert ch.breaker_trips >= 1
+        assert net.transport.breaker_trips >= 1
+        sim.run()
+        assert got == list(range(6))
+        assert not ch.degraded      # ack progress closed it
+        assert net.transport.breaker_closes >= 1
+
+    def test_breaker_disabled_when_zero(self):
+        pol = RetransmitPolicy(base_rto_ms=50.0, max_rto_ms=200.0,
+                               jitter_ms=0.0, breaker_failures=0)
+        sim, net, _ = make_net(
+            policy=pol, partitions=(Partition([1], 0.0, 1_000.0),))
+        net.register(1, lambda s, m: None)
+        net.register(0, lambda s, m: None)
+        net.send(0, 1, "x")
+        sim.run()
+        ch = net.transport.channel(0, 1)
+        assert ch.breaker_trips == 0
+        assert not ch.degraded
+
+
+class TestChannelMetricsExport:
+    def test_gauges_and_counters_sampled(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        sim, net, _ = make_net(drop=0.4, seed=3)
+        net.register(1, lambda s, m: None)
+        net.register(0, lambda s, m: None)
+        for k in range(30):
+            net.send(0, 1, k)
+        sim.run()
+        registry = MetricsRegistry()
+        net.transport.sample_channel_metrics(registry)
+        fam = registry.get("net_channel_rto_ms")
+        assert fam is not None
+        labels = [dict(zip(fam.label_names, key)) for key, _ in fam.samples()]
+        assert {"src": "0", "dst": "1"} in labels
+        retx = registry.get("net_channel_retransmissions_total")
+        assert retx is not None
+        assert sum(c.value for _, c in retx.samples()) > 0
