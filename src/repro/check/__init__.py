@@ -14,8 +14,11 @@ Three layers (see ``docs/static_analysis.md``):
 All three are wired into ``python -m repro.check``.
 """
 
-from .lint import Finding, Rule, SourceFile, lint_file, lint_paths
+# .rules must come first: repro.check.lint imports the shared
+# suppression parser from .rules._util, so the cycle only resolves when
+# the rules package (whose __init__ pulls in .lint) is entered first.
 from .rules import ALL_RULES, all_rules, rule_by_code
+from .lint import Finding, Rule, SourceFile, lint_file, lint_paths
 from .sanitizer import (
     DivergenceReport,
     MessageMutationError,

@@ -5,28 +5,45 @@ Sub-behaviours (composable in one invocation):
 * **lint** (default): run the SIM001..SIM008 AST rules over the given
   paths (default ``src/``), print ``path:line:col: CODE message`` per
   finding, exit non-zero on any finding;
+* **--effects**: whole-program effect inference (EFF001..EFF003) — the
+  substrate-independence certificate for ``repro/core`` and
+  ``repro/verify``, diffed against the committed
+  ``EFFECTS_BASELINE.json``;
+* **--layers**: layer-contract enforcement (LAY001..LAY003) against
+  ``layers.toml``;
 * **--mypy/--no-mypy**: strict-typing gate over ``core/``/``sim/``/
   ``check/`` (skipped with a notice when mypy is not installed);
 * **--double-run**: determinism smoke — run each protocol twice under
   the same seed (optionally through a chaos plan) and fail on the first
   diverging trace event, printing its causal chain.
 
+``--format json|sarif`` switches stdout to the machine-readable report
+(findings from every pass that ran, plus the effect table when
+``--effects`` ran); ``--report PATH`` writes that document to a file
+while keeping human output on stdout.
+
 Examples::
 
     python -m repro.check src/
-    python -m repro.check --explain SIM003
+    python -m repro.check --explain EFF001
+    python -m repro.check --effects --layers
+    python -m repro.check --effects --write-baseline
+    python -m repro.check --effects --layers --format sarif --no-lint
     python -m repro.check --double-run --chaos --protocols full-track,optp
+
+Exit codes: 0 clean, 1 findings/divergence, 2 usage or contract error.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tomllib
 from pathlib import Path
 from typing import Optional, Sequence
 
-from .lint import lint_paths
-from .rules import ALL_RULES, all_rules, rule_by_code
+from .lint import Finding, lint_paths
+from .rules import all_rules, rule_by_code
 
 __all__ = ["main", "build_parser"]
 
@@ -38,7 +55,8 @@ def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="python -m repro.check",
         description="determinism & causal-metadata sanitizer "
-                    "(AST lints, typing gate, double-run diff)",
+                    "(AST lints, effect/layer analyzers, typing gate, "
+                    "double-run diff)",
     )
     ap.add_argument("paths", nargs="*", type=Path,
                     help="files/directories to lint (default: src/)")
@@ -50,6 +68,28 @@ def build_parser() -> argparse.ArgumentParser:
                     help="comma-separated rule codes to run (default: all)")
     ap.add_argument("--no-lint", action="store_true",
                     help="skip the AST lint pass")
+    ap.add_argument("--effects", action="store_true",
+                    help="run the whole-program effect analysis "
+                         "(EFF001..EFF003)")
+    ap.add_argument("--layers", action="store_true",
+                    help="check the layer contract (LAY001..LAY003)")
+    ap.add_argument("--contract", type=Path, default=None, metavar="TOML",
+                    help="layer contract path (default: layers.toml, or "
+                         "[tool.repro.check] contract in pyproject.toml)")
+    ap.add_argument("--baseline", type=Path, default=None, metavar="JSON",
+                    help="effect baseline path (default: "
+                         "EFFECTS_BASELINE.json)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="regenerate the effect baseline instead of "
+                         "diffing against it (implies --effects)")
+    ap.add_argument("--src-root", type=Path, default=None, metavar="DIR",
+                    help="source root for the analyzers (default: src/)")
+    ap.add_argument("--format", choices=("human", "json", "sarif"),
+                    default="human",
+                    help="stdout format for findings (default: human)")
+    ap.add_argument("--report", type=Path, default=None, metavar="PATH",
+                    help="also write the JSON (or SARIF, with "
+                         "--format sarif) report to this file")
     ap.add_argument("--mypy", dest="mypy", action="store_true", default=None,
                     help="force the mypy gate (fail if mypy is missing)")
     ap.add_argument("--no-mypy", dest="mypy", action="store_false",
@@ -70,45 +110,63 @@ def build_parser() -> argparse.ArgumentParser:
     return ap
 
 
+def _project_defaults() -> dict[str, str]:
+    """``[tool.repro.check]`` from pyproject.toml, when present."""
+    pyproject = Path("pyproject.toml")
+    if not pyproject.is_file():
+        return {}
+    try:
+        data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+    except (OSError, tomllib.TOMLDecodeError):
+        return {}
+    section = data.get("tool", {}).get("repro", {}).get("check", {})
+    return {k: str(v) for k, v in section.items()}
+
+
 def _print_rule_catalog() -> None:
+    from .reportfmt import rule_metadata
+
     print("simcheck rules:")
-    for cls in ALL_RULES:
-        print(f"  {cls.code}  {cls.name:24s} {cls.rationale}")
-    print("  SIM000  unjustified-suppression  "
-          "a simcheck: ignore[...] comment without ' -- reason'")
+    for code, (name, rationale, _) in sorted(rule_metadata().items()):
+        print(f"  {code}  {name:26s} {rationale}")
 
 
 def _explain(code: str) -> int:
-    if code == "SIM000":
-        print("SIM000 unjustified-suppression: every suppression must "
-              "carry ' -- <why this is safe>' after the rule list.")
-        return 0
-    try:
-        rule = rule_by_code(code)
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
-        return 2
-    print(f"{rule.code} {rule.name}")
-    print(f"  why : {rule.rationale}")
-    print(f"  fix : {rule.hint}")
+    from .reportfmt import rule_metadata
+
+    meta = rule_metadata().get(code)
+    if meta is None:
+        try:
+            rule = rule_by_code(code)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        meta = (rule.name, rule.rationale, rule.hint)
+    name, rationale, hint = meta
+    print(f"{code} {name}")
+    print(f"  why : {rationale}")
+    print(f"  fix : {hint}")
     print("  mute: append  # simcheck: ignore[{}] -- <justification>"
-          .format(rule.code))
+          .format(code))
     return 0
 
 
-def _run_lint(paths: Sequence[Path], select: Optional[str]) -> int:
+def _run_lint(
+    paths: Sequence[Path], select: Optional[str], *, human: bool
+) -> list[Finding]:
     rules = all_rules()
     if select:
         wanted = {c.strip() for c in select.split(",") if c.strip()}
         rules = [r for r in rules if r.code in wanted]
     root = Path.cwd()
     findings = lint_paths(list(paths), rules, root=root)
-    for f in findings:
-        print(f.format())
-    n = len(findings)
-    print(f"simcheck lint: {n} finding{'s' if n != 1 else ''} "
-          f"in {len(list(paths))} path(s)")
-    return 1 if findings else 0
+    if human:
+        for f in findings:
+            print(f.format())
+        n = len(findings)
+        print(f"simcheck lint: {n} finding{'s' if n != 1 else ''} "
+              f"in {len(list(paths))} path(s)")
+    return findings
 
 
 def _run_mypy(*, force: bool) -> int:
@@ -153,6 +211,111 @@ def _run_double(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_analyzers(
+    args: argparse.Namespace, defaults: dict[str, str], *, human: bool
+) -> tuple[list[Finding], Optional[dict[str, list[str]]], dict[str, object]]:
+    """Effect/layer passes: (findings, effect table, certificate)."""
+    from .callgraph import ProjectGraph
+    from .contract import Contract
+    from .effects import (
+        analyze_effects,
+        diff_against_baseline,
+        load_baseline,
+        render_baseline,
+    )
+    from .layers import check_layers
+
+    contract_path = args.contract or Path(
+        defaults.get("contract", "layers.toml")
+    )
+    src_root = args.src_root or Path(defaults.get("src_root", "src"))
+    contract = Contract.load(contract_path)
+    graph = ProjectGraph.build(src_root, contract.package)
+
+    findings: list[Finding] = []
+    effect_table: Optional[dict[str, list[str]]] = None
+    certificate: dict[str, object] = {}
+    if args.layers:
+        layer_findings = check_layers(graph, contract)
+        findings.extend(layer_findings)
+        if human:
+            for f in layer_findings:
+                print(f.format())
+            print(f"layer check: {len(layer_findings)} finding(s), "
+                  f"{len(graph.modules)} modules against {contract_path}")
+    if args.effects or args.write_baseline:
+        report = analyze_effects(graph, contract)
+        effect_findings = report.findings(contract)
+        findings.extend(effect_findings)
+        effect_table = {
+            q: sorted(e) for q, e in sorted(report.nonempty().items())
+        }
+        baseline_path = args.baseline or Path(
+            defaults.get("baseline", "EFFECTS_BASELINE.json")
+        )
+        if args.write_baseline:
+            baseline_path.write_text(
+                render_baseline(report, contract.package), encoding="utf-8"
+            )
+            if human:
+                print(f"effect baseline written: {baseline_path} "
+                      f"({len(effect_table)} effectful functions)")
+        else:
+            baseline = load_baseline(baseline_path)
+            if baseline is None:
+                if human:
+                    print(f"note: no effect baseline at {baseline_path} "
+                          "(run --effects --write-baseline to create it)")
+            else:
+                drift = diff_against_baseline(report, baseline)
+                findings.extend(drift)
+                if human:
+                    for f in drift:
+                        print(f.format())
+        certified = not any(
+            f.code in ("EFF001", "EFF003") for f in effect_findings
+        )
+        certificate = {
+            "pure_trees": list(contract.pure_trees),
+            "forbidden_effects": list(contract.forbidden_effects),
+            "certified": certified,
+            "functions_analyzed": len(report.effects),
+            "functions_with_effects": len(effect_table),
+        }
+        if human:
+            for f in effect_findings:
+                print(f.format())
+            verdict = "CERTIFIED" if certified else "NOT certified"
+            print(f"effect check: {len(effect_findings)} finding(s); "
+                  f"pure trees {', '.join(contract.pure_trees)}: {verdict}")
+    return findings, effect_table, certificate
+
+
+def _emit_structured(
+    args: argparse.Namespace,
+    findings: list[Finding],
+    effect_table: Optional[dict[str, list[str]]],
+    certificate: dict[str, object],
+) -> None:
+    from .reportfmt import findings_to_json, findings_to_sarif
+
+    findings = sorted(findings, key=Finding.sort_key)
+    if args.format == "sarif" or (
+        args.report is not None and args.report.suffix == ".sarif"
+    ):
+        doc = findings_to_sarif(findings)
+    else:
+        doc = findings_to_json(
+            findings,
+            effects=effect_table,
+            certificate=certificate or None,
+        )
+    if args.format in ("json", "sarif"):
+        sys.stdout.write(doc)
+    if args.report is not None:
+        args.report.write_text(doc, encoding="utf-8")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
@@ -160,11 +323,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.explain:
         return _explain(args.explain)
+    defaults = _project_defaults()
+    human = args.format == "human"
     exit_code = 0
+    findings: list[Finding] = []
     if not args.no_lint:
         paths = args.paths or [Path("src")]
-        exit_code |= _run_lint(paths, args.select)
-    if args.mypy is not False and not args.no_lint or args.mypy:
+        findings.extend(_run_lint(paths, args.select, human=human))
+    if args.effects or args.layers or args.write_baseline:
+        from .contract import ContractError
+
+        try:
+            analyzer_findings, effect_table, certificate = _run_analyzers(
+                args, defaults, human=human
+            )
+        except ContractError as exc:
+            print(f"contract error: {exc}", file=sys.stderr)
+            return 2
+        findings.extend(analyzer_findings)
+    else:
+        effect_table, certificate = None, {}
+    if findings:
+        exit_code = 1
+    if not human or args.report is not None:
+        _emit_structured(args, findings, effect_table, certificate)
+    # mypy prints free-form output, so it is human-mode only unless
+    # explicitly forced
+    if (human and args.mypy is not False and not args.no_lint) or args.mypy:
         exit_code |= _run_mypy(force=bool(args.mypy))
     if args.double_run:
         exit_code |= _run_double(args)

@@ -22,10 +22,17 @@ make ``python -m repro.check`` exit 0.
 from __future__ import annotations
 
 import ast
-import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Sequence
+
+from .rules._util import (
+    SUPPRESSION_CODE,
+    Suppression,
+    is_excluded_path,
+    is_generated_source,
+    parse_suppressions,
+)
 
 __all__ = [
     "Finding",
@@ -37,14 +44,6 @@ __all__ = [
     "iter_python_files",
     "SUPPRESSION_CODE",
 ]
-
-#: pseudo-rule reported for a suppression comment without a justification
-SUPPRESSION_CODE = "SIM000"
-
-_SUPPRESS_RE = re.compile(
-    r"#\s*simcheck:\s*ignore\[(?P<codes>[A-Z0-9,\s]+)\]"
-    r"(?:\s*--\s*(?P<reason>\S.*))?"
-)
 
 
 @dataclass(frozen=True)
@@ -66,15 +65,6 @@ class Finding:
 
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.code)
-
-
-@dataclass(frozen=True)
-class Suppression:
-    """A parsed ``# simcheck: ignore[...]`` comment."""
-
-    line: int
-    codes: frozenset[str]
-    reason: Optional[str]
 
 
 @dataclass
@@ -105,7 +95,7 @@ class SourceFile:
             tree=ast.parse(text, filename=str(path)),
             lines=text.splitlines(),
         )
-        src.suppressions = list(_parse_suppressions(src.lines))
+        src.suppressions = list(parse_suppressions(src.lines))
         return src
 
     # ------------------------------------------------------------------
@@ -116,7 +106,18 @@ class SourceFile:
                 return True
         return False
 
-    def unjustified_suppressions(self) -> Iterator[Finding]:
+    def invalid_suppressions(
+        self, known_codes: Optional[frozenset[str]] = None
+    ) -> Iterator[Finding]:
+        """SIM000 findings: missing justification or unknown rule codes.
+
+        ``known_codes`` defaults to every registered rule code; a
+        suppression naming a code outside that set is dead weight that
+        silently stops guarding anything when rules are renamed, so it
+        fails the check exactly like a missing justification.
+        """
+        if known_codes is None:
+            known_codes = _registered_codes()
         for sup in self.suppressions:
             if sup.reason is None:
                 yield Finding(
@@ -133,18 +134,37 @@ class SourceFile:
                         "comment; unjustified suppressions fail the check"
                     ),
                 )
+                continue
+            unknown = sorted(sup.codes - known_codes)
+            if unknown:
+                yield Finding(
+                    code=SUPPRESSION_CODE,
+                    path=self.display_path,
+                    line=sup.line,
+                    col=0,
+                    message=(
+                        "suppression names unknown rule "
+                        f"code(s): {', '.join(unknown)}"
+                    ),
+                    hint="drop the stale code or fix the typo; see --list-rules",
+                )
+
+    # backwards-compatible name used by pre-analyzer callers
+    def unjustified_suppressions(self) -> Iterator[Finding]:
+        yield from self.invalid_suppressions()
 
 
-def _parse_suppressions(lines: Sequence[str]) -> Iterator[Suppression]:
-    for lineno, line in enumerate(lines, start=1):
-        m = _SUPPRESS_RE.search(line)
-        if m is None:
-            continue
-        codes = frozenset(
-            c.strip() for c in m.group("codes").split(",") if c.strip()
-        )
-        reason = m.group("reason")
-        yield Suppression(line=lineno, codes=codes, reason=reason)
+def _registered_codes() -> frozenset[str]:
+    """Every code a suppression may legitimately name."""
+    # deferred import: repro.check.rules imports this module for Rule
+    from .rules import ALL_RULES
+    from .reportfmt import ANALYZER_RULES
+
+    return frozenset(
+        {cls.code for cls in ALL_RULES}
+        | set(ANALYZER_RULES)
+        | {SUPPRESSION_CODE, "SIM999"}
+    )
 
 
 class Rule:
@@ -188,12 +208,20 @@ class Rule:
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
-    """Expand files/directories into ``.py`` files, sorted for stable output."""
+    """Expand files/directories into ``.py`` files, sorted for stable output.
+
+    ``__pycache__``, VCS/tool caches, build output, and ``*.egg-info``
+    trees are excluded everywhere — no pass ever lints generated or
+    cached sources (see :data:`repro.check.rules._util.EXCLUDED_DIR_NAMES`).
+    """
     seen: list[Path] = []
     for p in paths:
         if p.is_dir():
-            seen.extend(sorted(p.rglob("*.py")))
-        elif p.suffix == ".py":
+            seen.extend(
+                f for f in sorted(p.rglob("*.py"))
+                if not is_excluded_path(f.parts)
+            )
+        elif p.suffix == ".py" and not is_excluded_path(p.parts):
             seen.append(p)
     emitted = set()
     for p in seen:
@@ -214,7 +242,7 @@ def lint_file(
         for f in rule.check(src):
             if not src.suppressed(f.code, f.line):
                 findings.append(f)
-    findings.extend(src.unjustified_suppressions())
+    findings.extend(src.invalid_suppressions())
     findings.sort(key=Finding.sort_key)
     return findings
 
@@ -240,6 +268,8 @@ def lint_paths(
                     message=f"syntax error: {exc.msg}",
                 )
             )
+            continue
+        if is_generated_source(src.text):
             continue
         findings.extend(lint_file(src, rules))
     findings.sort(key=Finding.sort_key)

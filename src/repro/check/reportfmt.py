@@ -1,0 +1,213 @@
+"""Machine-readable report formats for ``repro check``: JSON and SARIF.
+
+One exporter consumes the findings of every pass — AST lints
+(SIM001..SIM008), the whole-program effect analysis (EFF...), and the
+layer-contract check (LAY...) — so CI uploads a single artifact and
+diff tools see one stable schema.
+
+The SARIF output targets version 2.1.0 and round-trips through GitHub
+code scanning; the JSON report is the project's own schema (versioned,
+see :data:`JSON_SCHEMA_VERSION`) and additionally carries the full
+effect table — the machine-checked certificate that the protocol cores
+are substrate-independent.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Optional, Sequence
+
+from .lint import Finding
+
+__all__ = [
+    "ANALYZER_RULES",
+    "JSON_SCHEMA_VERSION",
+    "SARIF_VERSION",
+    "findings_to_json",
+    "findings_to_sarif",
+    "rule_metadata",
+]
+
+JSON_SCHEMA_VERSION = 1
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: rules reported by the whole-program analyzers (code -> name,
+#: rationale, fix-it hint); kept here so the CLI's ``--explain`` and
+#: the suppression-code validator see one catalog
+ANALYZER_RULES: dict[str, tuple[str, str, str]] = {
+    "EFF001": (
+        "forbidden-effect",
+        "a function in a substrate-pure tree (repro/core, repro/verify) "
+        "transitively reaches a forbidden effect (wall clock, unseeded "
+        "RNG, file I/O, network, simulator internals)",
+        "route the effect through an injected port (clock/RNG/transport "
+        "argument), or declare the crossing in layers.toml",
+    ),
+    "EFF002": (
+        "effect-baseline-drift",
+        "a function gained an effect that is not in the committed "
+        "EFFECTS_BASELINE.json — new effects must be reviewed, not "
+        "slipped in",
+        "if intentional, regenerate the baseline with "
+        "`repro check --effects --write-baseline` and commit the diff",
+    ),
+    "EFF003": (
+        "impure-data-port",
+        "a module declared as a data-only port target has effectful "
+        "functions; data-only crossings must be certified pure",
+        "remove the effect from the port target, or re-declare the "
+        "crossing with an honest kind",
+    ),
+    "LAY001": (
+        "layer-violation",
+        "an import crosses the layer contract (layers.toml) without a "
+        "declared port — e.g. repro/core reaching into repro/sim",
+        "invert the dependency (inject the object), or declare an "
+        "explicit [[ports]] entry with a justification",
+    ),
+    "LAY002": (
+        "annotation-port-runtime-use",
+        "an import declared annotation-only in layers.toml is used at "
+        "runtime — the sanctioned crossing was typing-only",
+        "move the import under `if TYPE_CHECKING:` and keep runtime "
+        "access behind the injected port object",
+    ),
+    "LAY003": (
+        "unknown-module",
+        "the layer contract does not assign this module to any layer",
+        "add the module (or a parent package prefix) to a [layers.*] "
+        "modules list in layers.toml",
+    ),
+}
+
+
+def rule_metadata() -> dict[str, tuple[str, str, str]]:
+    """code -> (name, rationale, hint) for every reportable rule."""
+    # deferred: repro.check.rules imports repro.check.lint which
+    # imports this module's ANALYZER_RULES indirectly
+    from .rules import ALL_RULES
+
+    meta = {
+        cls.code: (cls.name, cls.rationale, cls.hint) for cls in ALL_RULES
+    }
+    meta["SIM000"] = (
+        "invalid-suppression",
+        "a simcheck: ignore[...] comment without a ' -- reason' or "
+        "naming an unknown rule code",
+        "append ' -- <why this is safe>' and use codes from --list-rules",
+    )
+    meta["SIM999"] = (
+        "syntax-error",
+        "the file does not parse; nothing else can be checked",
+        "fix the syntax error",
+    )
+    meta.update(ANALYZER_RULES)
+    return meta
+
+
+def findings_to_json(
+    findings: Sequence[Finding],
+    *,
+    effects: Optional[Mapping[str, Sequence[str]]] = None,
+    certificate: Optional[Mapping[str, object]] = None,
+    meta: Optional[Mapping[str, object]] = None,
+) -> str:
+    """The project JSON report: findings + optional effect certificate."""
+    doc: dict[str, object] = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "tool": "repro.check",
+        "findings": [
+            {
+                "code": f.code,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "hint": f.hint,
+            }
+            for f in findings
+        ],
+        "summary": {
+            "total": len(findings),
+            "by_code": _count_by_code(findings),
+        },
+    }
+    if effects is not None:
+        doc["effects"] = {
+            qual: sorted(effs) for qual, effs in sorted(effects.items())
+        }
+    if certificate is not None:
+        doc["certificate"] = dict(certificate)
+    if meta is not None:
+        doc["meta"] = dict(meta)
+    return json.dumps(doc, indent=2, sort_keys=False) + "\n"
+
+
+def findings_to_sarif(findings: Sequence[Finding]) -> str:
+    """A SARIF 2.1.0 log with one run and the full rule catalog."""
+    meta = rule_metadata()
+    used_codes = sorted({f.code for f in findings} | set(meta))
+    rules = []
+    rule_index: dict[str, int] = {}
+    for i, code in enumerate(used_codes):
+        name, rationale, hint = meta.get(code, (code, "", ""))
+        rule_index[code] = i
+        rules.append({
+            "id": code,
+            "name": name,
+            "shortDescription": {"text": name},
+            "fullDescription": {"text": rationale},
+            "help": {"text": hint},
+            "defaultConfiguration": {"level": "error"},
+        })
+    results = []
+    for f in findings:
+        result: dict[str, object] = {
+            "ruleId": f.code,
+            "ruleIndex": rule_index.get(f.code, -1),
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(f.line, 1),
+                        "startColumn": max(f.col + 1, 1),
+                    },
+                },
+            }],
+        }
+        if f.hint:
+            result["message"] = {"text": f"{f.message} (hint: {f.hint})"}
+        results.append(result)
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.check",
+                    "informationUri":
+                        "https://example.invalid/repro/docs/static_analysis",
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2) + "\n"
+
+
+def _count_by_code(findings: Sequence[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.code] = counts.get(f.code, 0) + 1
+    return dict(sorted(counts.items()))

@@ -186,6 +186,22 @@ def build_parser() -> argparse.ArgumentParser:
     check_p.add_argument("--metrics-dir", default=None, metavar="DIR",
                          help="enable the metrics registry and write "
                               "metrics.prom/.json/.jsonl into DIR")
+    static = check_p.add_argument_group(
+        "static analysis",
+        "run the whole-program analyzers instead of a simulation "
+        "(delegates to `python -m repro.check`)")
+    static.add_argument("--effects", action="store_true",
+                        help="effect inference (EFF001..EFF003) + baseline")
+    static.add_argument("--layers", action="store_true",
+                        help="layer-contract check (LAY001..LAY003)")
+    static.add_argument("--write-baseline", action="store_true",
+                        help="regenerate EFFECTS_BASELINE.json")
+    static.add_argument("--format", choices=("human", "json", "sarif"),
+                        default="human", dest="static_format",
+                        help="finding output format (default: human)")
+    static.add_argument("--report", default=None, metavar="PATH",
+                        dest="static_report",
+                        help="write the JSON/SARIF report to PATH")
     _add_fault_args(check_p)
 
     met_p = sub.add_parser(
@@ -788,6 +804,20 @@ def _cmd_verify_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    if args.effects or args.layers or args.write_baseline:
+        from .check.cli import main as static_main
+
+        argv = ["--no-lint", "--no-mypy",
+                "--format", args.static_format]
+        if args.effects:
+            argv.append("--effects")
+        if args.layers:
+            argv.append("--layers")
+        if args.write_baseline:
+            argv.append("--write-baseline")
+        if args.static_report is not None:
+            argv.extend(["--report", args.static_report])
+        return static_main(argv)
     cfg = SimulationConfig(
         protocol=args.protocol,
         n_sites=args.sites,

@@ -43,18 +43,22 @@ from operator import attrgetter
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    # annotation-only crossings, declared as ports in layers.toml: the
+    # substrate objects reach the protocol through ProtocolContext
+    # injection, never through a module-level runtime import
+    from ..obs.ledger import MetadataLedger
+    from ..obs.metrics import Histogram, MetricsRegistry
+    from ..obs.tracer import Tracer
     from ..sim.checkpoint import SiteDisk, WalRecord
+    from ..sim.engine import Simulator
+    from ..sim.network import Network
 
 from ..memory.replication import Placement
 from ..memory.store import SiteStore, WriteId
 from ..metrics.collector import MessageKind, MetricsCollector
 from ..metrics.sizing import SizeModel
-from ..obs.ledger import MetadataLedger
-from ..obs.metrics import Histogram, MetricsRegistry
-from ..obs.tracer import Tracer
-from ..sim.engine import Simulator
-from ..sim.network import Network
 from ..verify.history import HistoryRecorder
+from .errors import DepartedSiteError
 from .messages import FetchMessage
 
 __all__ = [
@@ -334,8 +338,6 @@ class CausalProtocol(abc.ABC):
     def write(self, var: int, value: object, *, op_index: Optional[int] = None) -> WriteId:
         """Perform w(x_var)value locally and multicast it to all replicas."""
         if self._departed_status is not None:
-            from ..sim.membership import DepartedSiteError
-
             raise DepartedSiteError(self.site, self._departed_status)
         if self._wal is not None and not self._replaying:
             self._wal.log_write(var, value)
@@ -364,8 +366,6 @@ class CausalProtocol(abc.ABC):
         complete when the gated RM arrives.
         """
         if self._departed_status is not None:
-            from ..sim.membership import DepartedSiteError
-
             raise DepartedSiteError(self.site, self._departed_status)
         ctx = self.ctx
         if self._wal is not None and not self._replaying:

@@ -63,37 +63,14 @@ __all__ = [
 ]
 
 
-class MembershipError(RuntimeError):
-    """Base class for membership/view-change failures."""
-
-
-class UnknownSiteError(MembershipError, ValueError):
-    """A site id that was never part of any view epoch.
-
-    Subclasses ``ValueError`` so callers that historically validated
-    site ids with ``ValueError`` keep working unchanged.
-    """
-
-    def __init__(self, site: int, capacity: int) -> None:
-        self.site = site
-        self.capacity = capacity
-        super().__init__(
-            f"site {site} is unknown: no view epoch ever contained it "
-            f"(ids 0..{capacity - 1} have been issued)"
-        )
-
-
-class DepartedSiteError(MembershipError):
-    """An operation addressed a site that left or was evicted."""
-
-    def __init__(self, site: int, status: str, epoch: Optional[int] = None) -> None:
-        self.site = site
-        self.status = status
-        self.epoch = epoch
-        when = f" in epoch {epoch}" if epoch is not None else ""
-        super().__init__(
-            f"site {site} is no longer a cluster member: it {status}{when}"
-        )
+# The exception vocabulary moved to repro.core.errors (the protocol
+# layer raises DepartedSiteError itself); re-exported here so existing
+# `from repro.sim.membership import ...` call sites keep working.
+from ..core.errors import (  # noqa: E402  -- re-export after __all__
+    DepartedSiteError,
+    MembershipError,
+    UnknownSiteError,
+)
 
 
 @dataclass(frozen=True)

@@ -262,6 +262,95 @@ class TestMutateAfterSend:
         assert codes_of(findings) == ["SIM005", "SIM005", "SIM005"]
 
 
+class TestMutateAfterSendAliasing:
+    """SIM005's dataflow half: mutations that reach the payload through
+    an alias (assignment, tuple/dict display, comprehension, helper
+    call) are flagged; copies break the alias and pass."""
+
+    def test_alias_through_assignment_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "repro/core/fx.py", """
+            def f(self, dst, deps):
+                self._send(dst, Msg(deps=deps))
+                alias = deps
+                alias.append(dst)
+        """, codes=["SIM005"])
+        assert codes_of(findings) == ["SIM005"]
+        assert "aliases 'deps'" in findings[0].message
+
+    def test_tuple_display_escape_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "repro/core/fx.py", """
+            def f(self, dst, deps):
+                pair = (deps, dst)
+                self._send(dst, Msg(payload=pair))
+                deps.append(dst)
+        """, codes=["SIM005"])
+        assert codes_of(findings) == ["SIM005"]
+
+    def test_comprehension_element_escape_flagged(self, tmp_path):
+        findings = run_lint(tmp_path, "repro/core/fx.py", """
+            def f(self, dsts, deps):
+                msgs = [Msg(deps=deps) for d in dsts]
+                self._send(dsts[0], msgs)
+                deps.append(0)
+        """, codes=["SIM005"])
+        assert codes_of(findings) == ["SIM005"]
+
+    def test_helper_call_result_aliases_args(self, tmp_path):
+        findings = run_lint(tmp_path, "repro/core/fx.py", """
+            def f(self, dst, deps):
+                wrapped = wrap(deps)
+                self._send(dst, wrapped)
+                deps.append(dst)
+        """, codes=["SIM005"])
+        assert codes_of(findings) == ["SIM005"]
+
+    def test_copy_breaks_the_alias(self, tmp_path):
+        findings = run_lint(tmp_path, "repro/core/fx.py", """
+            def f(self, dst, deps):
+                self._send(dst, Msg(deps=list(deps)))
+                deps.append(dst)
+        """, codes=["SIM005"])
+        assert findings == []
+
+    def test_sorted_and_deepcopy_break_the_alias(self, tmp_path):
+        findings = run_lint(tmp_path, "repro/core/fx.py", """
+            import copy
+
+            def f(self, dst, deps, log):
+                self._send(dst, Msg(deps=sorted(deps)))
+                self._send(dst, Msg(log=copy.deepcopy(log)))
+                deps.append(dst)
+                log.purge()
+        """, codes=["SIM005"])
+        assert findings == []
+
+    def test_scalar_builtin_result_not_aliasing(self, tmp_path):
+        findings = run_lint(tmp_path, "repro/core/fx.py", """
+            def f(self, dst, deps):
+                self._send(dst, Msg(n=len(deps)))
+                deps.append(dst)
+        """, codes=["SIM005"])
+        assert findings == []
+
+    def test_rebinding_detaches_the_name(self, tmp_path):
+        findings = run_lint(tmp_path, "repro/core/fx.py", """
+            def f(self, dst, deps):
+                self._send(dst, Msg(deps=deps))
+                deps = []
+                deps.append(dst)
+        """, codes=["SIM005"])
+        assert findings == []
+
+    def test_comprehension_loop_var_not_an_alias(self, tmp_path):
+        findings = run_lint(tmp_path, "repro/core/fx.py", """
+            def f(self, dst, deps, items):
+                view = [x for x in items]
+                self._send(dst, Msg(deps=deps))
+                view.append(dst)
+        """, codes=["SIM005"])
+        assert findings == []
+
+
 # ----------------------------------------------------------------------
 # SIM006 float timestamp equality
 # ----------------------------------------------------------------------
@@ -399,6 +488,21 @@ class TestSuppressions:
                 # simcheck: ignore[SIM001, SIM002] -- seeded fixture generator
                 return time.time() + random.random()
         """, codes=["SIM001", "SIM002"])
+        assert findings == []
+
+    def test_unknown_code_in_suppression_surfaces_sim000(self, tmp_path):
+        findings = run_lint(tmp_path, "repro/core/fx.py", """
+            def f(x):
+                return x  # simcheck: ignore[SIM042] -- typo'd rule code
+        """, codes=[])
+        assert codes_of(findings) == [SUPPRESSION_CODE]
+        assert "unknown rule" in findings[0].message
+
+    def test_analyzer_codes_are_valid_suppression_targets(self, tmp_path):
+        findings = run_lint(tmp_path, "repro/core/fx.py", """
+            def f(x):
+                return x  # simcheck: ignore[EFF001, LAY001] -- transitional
+        """, codes=[])
         assert findings == []
 
 
