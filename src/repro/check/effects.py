@@ -77,7 +77,20 @@ _WALL_CLOCK = frozenset({
     "time.localtime", "time.gmtime", "time.ctime", "time.strftime",
     "datetime.datetime.now", "datetime.datetime.utcnow",
     "datetime.datetime.today", "datetime.date.today",
+    # asyncio's clock surface: loop.time() reads the wall clock and
+    # loop.call_later/call_at arm real-time timers; asyncio.sleep awaits
+    # real time.  The bare "loop." spellings catch the common local
+    # variable idiom (`loop = asyncio.get_event_loop(); loop.time()`);
+    # attribute receivers (`self._loop.time()`) resolve through
+    # _WALL_CLOCK_METHODS below.
+    "asyncio.sleep", "loop.time", "loop.call_later", "loop.call_at",
 })
+#: receiver-agnostic method names that always mean real-time scheduling
+_WALL_CLOCK_METHODS = frozenset({"call_later", "call_at"})
+#: ``<receiver>.time()`` is a wall-clock read when the receiver is an
+#: event loop; matched by the receiver attribute's tail (``loop``,
+#: ``_loop``, ``event_loop``...) so instance attributes resolve too
+_LOOP_RECEIVER_SUFFIX = "loop"
 
 _UNSEEDED_EXACT = frozenset({
     "os.urandom", "uuid.uuid1", "uuid.uuid4", "random.SystemRandom",
@@ -105,7 +118,7 @@ _FILE_IO_METHODS = frozenset({
 
 _NETWORK_PREFIXES = (
     "socket.", "http.client.", "urllib.request.", "requests.",
-    "ssl.", "asyncio.open_connection",
+    "ssl.", "asyncio.open_connection", "asyncio.start_server",
 )
 
 
@@ -295,6 +308,16 @@ def _leaf_effects(
             meth = _method_name(node)
             if meth in _FILE_IO_METHODS:
                 yield "FILE_IO", f"calls .{meth}()", node.lineno
+            elif meth in _WALL_CLOCK_METHODS:
+                yield "WALL_CLOCK", f"calls .{meth}()", node.lineno
+            elif meth == "time" and _receiver_tail(node).endswith(
+                _LOOP_RECEIVER_SUFFIX
+            ):
+                yield (
+                    "WALL_CLOCK",
+                    "calls .time() on an event loop",
+                    node.lineno,
+                )
         elif (
             not in_sim
             and isinstance(node, ast.Name)
@@ -364,6 +387,19 @@ def _call_target(mod: ModuleInfo, node: ast.Call) -> Optional[str]:
 
 def _method_name(node: ast.Call) -> Optional[str]:
     return node.func.attr if isinstance(node.func, ast.Attribute) else None
+
+
+def _receiver_tail(node: ast.Call) -> str:
+    """The attribute/name immediately below a method call's receiver:
+    ``self._loop.time()`` -> ``_loop``, ``loop.time()`` -> ``loop``."""
+    if not isinstance(node.func, ast.Attribute):
+        return ""
+    recv = node.func.value
+    if isinstance(recv, ast.Attribute):
+        return recv.attr
+    if isinstance(recv, ast.Name):
+        return recv.id
+    return ""
 
 
 def _data_only_exempt(

@@ -260,6 +260,48 @@ def build_parser() -> argparse.ArgumentParser:
     soak_p.add_argument("--no-rto-compare", action="store_true",
                         help="skip the adaptive-vs-fixed RTO comparison")
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="boot a live TCP cluster: one OS process per site, HTTP "
+             "GET/PUT per node (the service substrate)",
+    )
+    serve_p.add_argument("--topology", default=None, metavar="PATH",
+                         help="existing topology JSON (overrides --nodes)")
+    serve_p.add_argument("-n", "--nodes", type=int, default=3,
+                         help="generate a local loopback topology of N sites")
+    serve_p.add_argument("-p", "--protocol", default="opt-track")
+    serve_p.add_argument("-q", "--variables", type=int, default=16)
+    serve_p.add_argument("--replication-factor", type=int, default=None,
+                         help="replicas per variable (default: paper's "
+                              "30%% rule)")
+    serve_p.add_argument("--placement", default="round-robin",
+                         choices=["round-robin", "hash", "random"])
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument("--base-port", type=int, default=7400)
+    serve_p.add_argument("--dir", default="live-cluster", metavar="DIR",
+                         help="run directory: topology.json + per-node "
+                              "histories and logs (default: ./live-cluster)")
+    serve_p.add_argument("--duration", type=float, default=None, metavar="S",
+                         help="exit after S seconds (CI); default: run until "
+                              "interrupted")
+
+    load_p = sub.add_parser(
+        "loadgen",
+        help="drive a live cluster with a seeded concurrent workload, "
+             "then verify the merged history causally",
+    )
+    load_p.add_argument("--topology", required=True, metavar="PATH",
+                        help="topology JSON of the target cluster "
+                             "(serve writes DIR/topology.json)")
+    load_p.add_argument("--ops", type=int, default=50,
+                        help="operations per site (default 50)")
+    load_p.add_argument("--seed", type=int, default=1)
+    load_p.add_argument("--write-fraction", type=float, default=0.5)
+
+    node_p = sub.add_parser("_node")  # internal: one live node process
+    node_p.add_argument("--topology", required=True)
+    node_p.add_argument("--site", type=int, required=True)
+
     sub.add_parser("list", help="list protocols and experiments")
     return parser
 
@@ -943,6 +985,146 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+    import subprocess
+    import time
+    from pathlib import Path
+
+    import repro
+    from .service.bootstrap import (
+        default_topology, load_topology, save_topology,
+    )
+    from .service.loadgen import http_request
+
+    run_dir = Path(args.dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    if args.topology:
+        topology = load_topology(args.topology)
+    else:
+        if args.protocol not in protocol_names():
+            raise SystemExit(f"unknown protocol {args.protocol!r}")
+        topology = default_topology(
+            args.nodes,
+            protocol=args.protocol,
+            n_vars=args.variables,
+            replication_factor=args.replication_factor,
+            placement=args.placement,
+            seed=args.seed,
+            base_port=args.base_port,
+            history_dir=str(run_dir),
+        )
+    topo_path = run_dir / "topology.json"
+    save_topology(topology, topo_path)
+
+    # child processes must find the same `repro` package this process
+    # imported, whether it came from an install or a source tree
+    env = os.environ.copy()
+    pkg_root = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (pkg_root, env.get("PYTHONPATH")) if p
+    )
+    procs = []
+    logs = []
+    try:
+        for spec in topology.nodes:
+            log = (run_dir / f"node-{spec.site}.log").open("w")
+            logs.append(log)
+            procs.append(subprocess.Popen(
+                [sys.executable, "-m", "repro", "_node",
+                 "--topology", str(topo_path), "--site", str(spec.site)],
+                stdout=log, stderr=subprocess.STDOUT, env=env,
+            ))
+
+        async def _ready() -> bool:
+            for spec in topology.nodes:
+                try:
+                    status, _ = await http_request(
+                        spec.host, spec.http_port, "GET", "/status"
+                    )
+                    if status != 200:
+                        return False
+                except (ConnectionError, OSError):
+                    return False
+            return True
+
+        # simcheck: ignore[SIM001] -- supervising real OS processes; never feeds simulated results
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:  # simcheck: ignore[SIM001] -- see above
+            if any(p.poll() is not None for p in procs):
+                raise SystemExit(
+                    f"a node process exited during startup; "
+                    f"see {run_dir}/node-*.log"
+                )
+            if asyncio.run(_ready()):
+                break
+            time.sleep(0.1)
+        else:
+            raise SystemExit(f"cluster not ready after 15s; see {run_dir}")
+
+        print(f"cluster up: {topology.n_sites} nodes, "
+              f"protocol={topology.protocol}, topology={topo_path}")
+        for spec in topology.nodes:
+            print(f"  site {spec.site}: "
+                  f"http://{spec.host}:{spec.http_port}  "
+                  f"(peer port {spec.peer_port})")
+        print(f'try: curl -X PUT -d \'{{"value": 41}}\' '
+              f"http://{topology.node(0).host}:"
+              f"{topology.node(0).http_port}/kv/0")
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            try:
+                while all(p.poll() is None for p in procs):
+                    time.sleep(0.5)
+            except KeyboardInterrupt:
+                pass
+        return 0
+    finally:
+        for p in procs:
+            if p.poll() is None:
+                p.terminate()
+        for p in procs:
+            try:
+                p.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                p.kill()
+        for log in logs:
+            log.close()
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .service.bootstrap import load_topology
+    from .service.loadgen import run_loadgen
+
+    topology = load_topology(args.topology)
+    report = run_loadgen(
+        topology, ops=args.ops, seed=args.seed,
+        write_fraction=args.write_fraction,
+    )
+    print(f"loadgen: {report.ops_attempted} ops "
+          f"({report.writes} writes, {report.reads} reads, "
+          f"{report.shed} shed) across {topology.n_sites} sites")
+    print(f"history: {report.events} events, "
+          f"quiesced={report.quiesced}, "
+          f"violations={len(report.violations)}")
+    for err in report.errors:
+        print(f"  error: {err}")
+    for violation in report.violations[:10]:
+        print(f"  violation: {violation}")
+    print(f"loadgen: {'PASS' if report.ok else 'FAIL'}")
+    return 0 if report.ok else 1
+
+
+def _cmd_node(args: argparse.Namespace) -> int:
+    from .service.bootstrap import load_topology
+    from .service.node import run_node
+
+    run_node(load_topology(args.topology), args.site)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -957,6 +1139,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "check": _cmd_check,
         "metrics": _cmd_metrics,
         "soak": _cmd_soak,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
+        "_node": _cmd_node,
         "list": _cmd_list,
     }
     try:

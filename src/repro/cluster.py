@@ -140,7 +140,7 @@ class CausalCluster:
                 placement=self.placement,
                 store=SiteStore(i, self.placement.vars_at(i)),
                 network=self.network,
-                sim=self.sim,
+                clock=self.sim,
                 collector=self.collector,
                 size_model=size_model,
                 history=self.history,
@@ -393,7 +393,7 @@ class CausalCluster:
             placement=self.placement,
             store=SiteStore(new_id, self.placement.vars_at(new_id)),
             network=self.network,
-            sim=self.sim,
+            clock=self.sim,
             collector=self.collector,
             size_model=self.config.size_model,
             history=self.history,

@@ -16,9 +16,19 @@ from .clocks import MatrixClock, VectorClock
 from .full_track import FullTrackProtocol
 from .hb_track import HBTrackProtocol
 from .log import OptTrackLog, PiggybackEntry, TupleLog
+from .netpolicy import OverloadError, RetransmitPolicy, RtoEstimator
 from .opt_track import OptTrackNoPruneProtocol, OptTrackProtocol
 from .opt_track_crp import OptTrackCRPProtocol
 from .optp import OptPProtocol
+from .ports import (
+    Clock,
+    Durability,
+    NullTransport,
+    Scheduler,
+    TimerHandle,
+    TimerService,
+    Transport,
+)
 
 __all__ = [
     "CausalProtocol",
@@ -27,6 +37,16 @@ __all__ = [
     "get_protocol_class",
     "protocol_names",
     "register_protocol",
+    "Clock",
+    "TimerHandle",
+    "TimerService",
+    "Scheduler",
+    "Transport",
+    "Durability",
+    "NullTransport",
+    "OverloadError",
+    "RetransmitPolicy",
+    "RtoEstimator",
     "MatrixClock",
     "VectorClock",
     "OptTrackLog",

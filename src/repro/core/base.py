@@ -49,9 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..obs.ledger import MetadataLedger
     from ..obs.metrics import Histogram, MetricsRegistry
     from ..obs.tracer import Tracer
-    from ..sim.checkpoint import SiteDisk, WalRecord
-    from ..sim.engine import Simulator
-    from ..sim.network import Network
+    from ..sim.checkpoint import WalRecord
 
 from ..memory.replication import Placement
 from ..memory.store import SiteStore, WriteId
@@ -60,6 +58,7 @@ from ..metrics.sizing import SizeModel
 from ..verify.history import HistoryRecorder
 from .errors import DepartedSiteError
 from .messages import FetchMessage
+from .ports import Clock, Durability, NullTransport, Transport
 
 __all__ = [
     "ProtocolContext",
@@ -124,8 +123,10 @@ class ProtocolContext:
     n_sites: int
     placement: Placement
     store: SiteStore
-    network: Network
-    sim: Simulator
+    #: message egress + overload signals (:class:`~repro.core.ports.Transport`)
+    network: Transport
+    #: timestamps only — the cores never arm timers themselves
+    clock: Clock
     collector: MetricsCollector
     size_model: SizeModel
     history: HistoryRecorder = field(default_factory=lambda: HistoryRecorder(enabled=False))
@@ -203,15 +204,6 @@ class _OutstandingFetch:
     target: int = -1
 
 
-class _NullNetwork:
-    """Send sink used while replaying a WAL: the original sends already
-    happened and live on in the durable reliable-channel queues."""
-
-    def send(self, src: int, dst: int, message: object, *,
-             size_bytes: float = 0.0) -> None:
-        return None
-
-
 class CausalProtocol(abc.ABC):
     """Base class for the four causal-consistency protocols."""
 
@@ -257,9 +249,9 @@ class CausalProtocol(abc.ABC):
         self._scan_kind = -1
         self._scan_pos = -1
         self._scan_batch: list[_Pending] = []
-        #: durable disk (crash-recovery); ``None`` keeps the seed path
+        #: durable journal (crash-recovery); ``None`` keeps the seed path
         #: byte-identical — no WAL branch is ever taken
-        self._wal: "Optional[SiteDisk]" = None
+        self._wal: Optional[Durability] = None
         #: True while re-executing WAL records during recovery
         self._replaying = False
         #: RMs answering a fetch whose continuation died in a crash
@@ -374,7 +366,7 @@ class CausalProtocol(abc.ABC):
             value, write_id = self._local_read(var)
             ctx.collector.record_operation(False, remote=False)
             ctx.history.record_read_op(
-                time=ctx.sim.now, site=self.site, var=var, value=value,
+                time=ctx.clock.now, site=self.site, var=var, value=value,
                 write_id=write_id, op_index=op_index, remote=False,
             )
             on_complete(value, write_id, False)
@@ -392,9 +384,9 @@ class CausalProtocol(abc.ABC):
         self._next_request_id += 1
         self._fetches[req_id] = _OutstandingFetch(
             var=var, on_complete=on_complete, op_index=op_index,
-            issued=ctx.sim.now, target=target,
+            issued=ctx.clock.now, target=target,
         )
-        ctx.history.record_fetch(time=ctx.sim.now, site=self.site, peer=target, var=var)
+        ctx.history.record_fetch(time=ctx.clock.now, site=self.site, peer=target, var=var)
         self._send(
             target,
             FetchMessage(
@@ -413,7 +405,7 @@ class CausalProtocol(abc.ABC):
             # logged before processing: the reliable transport acks only
             # after this returns, so an acked message is always durable
             self._wal.log_recv(src, message)
-        now = self.ctx.sim.now
+        now = self.ctx.clock.now
         if isinstance(message, FetchMessage):
             # Serving is deferred until every write the reader causally
             # requires of this site has been applied here — otherwise the
@@ -584,7 +576,7 @@ class CausalProtocol(abc.ABC):
                 entry.dirty = False
                 if self._sm_ready(entry.src, entry.message):
                     pending.remove(entry)
-                    delay = ctx.sim.now - entry.arrived
+                    delay = ctx.clock.now - entry.arrived
                     if delay > 0:
                         # only genuinely buffered updates count: an
                         # immediately-applicable SM has no gating cost
@@ -598,7 +590,7 @@ class CausalProtocol(abc.ABC):
                         # of anything the apply triggers (e.g. a newly
                         # unblocked fetch reply)
                         tracer.sm_activate(self.site, entry.message,
-                                           ts=ctx.sim.now,
+                                           ts=ctx.clock.now,
                                            arrived=entry.arrived)
                         try:
                             self._apply_sm(entry.src, entry.message)
@@ -651,7 +643,7 @@ class CausalProtocol(abc.ABC):
                     else:
                         tracer.gated_resolved("rm.complete", self.site,
                                               entry.message,
-                                              ts=ctx.sim.now,
+                                              ts=ctx.clock.now,
                                               arrived=entry.arrived)
                         try:
                             self._complete_rm(entry.src, entry.message)
@@ -703,7 +695,7 @@ class CausalProtocol(abc.ABC):
                     else:
                         tracer.gated_resolved("fm.serve", self.site,
                                               message,
-                                              ts=ctx.sim.now,
+                                              ts=ctx.clock.now,
                                               arrived=entry.arrived)
                         try:
                             self._serve_fetch(entry.src, message)  # type: ignore[arg-type]
@@ -753,7 +745,7 @@ class CausalProtocol(abc.ABC):
                     pending = self._pending_sm[i]
                     if self._sm_ready(pending.src, pending.message):
                         del self._pending_sm[i]
-                        delay = self.ctx.sim.now - pending.arrived
+                        delay = self.ctx.clock.now - pending.arrived
                         if delay > 0:
                             # only genuinely buffered updates count: an
                             # immediately-applicable SM has no gating cost
@@ -767,7 +759,7 @@ class CausalProtocol(abc.ABC):
                             # of anything the apply triggers (e.g. a newly
                             # unblocked fetch reply)
                             tracer.sm_activate(self.site, pending.message,
-                                               ts=self.ctx.sim.now,
+                                               ts=self.ctx.clock.now,
                                                arrived=pending.arrived)
                             try:
                                 self._apply_sm(pending.src, pending.message)
@@ -786,7 +778,7 @@ class CausalProtocol(abc.ABC):
                         else:
                             tracer.gated_resolved("rm.complete", self.site,
                                                   pending_rm.message,
-                                                  ts=self.ctx.sim.now,
+                                                  ts=self.ctx.clock.now,
                                                   arrived=pending_rm.arrived)
                             try:
                                 self._complete_rm(pending_rm.src, pending_rm.message)
@@ -805,7 +797,7 @@ class CausalProtocol(abc.ABC):
                         else:
                             tracer.gated_resolved("fm.serve", self.site,
                                                   pending_fm.message,
-                                                  ts=self.ctx.sim.now,
+                                                  ts=self.ctx.clock.now,
                                                   arrived=pending_fm.arrived)
                             try:
                                 self._serve_fetch(pending_fm.src, pending_fm.message)  # type: ignore[arg-type]
@@ -856,12 +848,12 @@ class CausalProtocol(abc.ABC):
             # MODE_CLOCK (0): size fixed by the slot key, nothing to add
         if ctx.tracer is not None:
             ctx.tracer.msg_send(self.site, dst, message,
-                                ts=ctx.sim.now,
+                                ts=ctx.clock.now,
                                 kind=kind.value, size=size)
         history = ctx.history
         if history.enabled:  # skip the kwargs + __name__ cost when off
             history.record_send(
-                time=ctx.sim.now, site=self.site, peer=dst,
+                time=ctx.clock.now, site=self.site, peer=dst,
                 detail=type(message).__name__,
             )
         ctx.network.send(self.site, dst, message, size_bytes=size)
@@ -937,9 +929,9 @@ class CausalProtocol(abc.ABC):
             self.ctx.collector.record_stale_rm()
             return
         ctx = self.ctx
-        ctx.collector.record_fetch_rtt(ctx.sim.now - fetch.issued)
+        ctx.collector.record_fetch_rtt(ctx.clock.now - fetch.issued)
         ctx.history.record_read_op(
-            time=ctx.sim.now, site=self.site, var=fetch.var, value=value,
+            time=ctx.clock.now, site=self.site, var=fetch.var, value=value,
             write_id=write_id, op_index=fetch.op_index, remote=True,
         )
         fetch.on_complete(value, write_id, True)
@@ -1065,7 +1057,7 @@ class CausalProtocol(abc.ABC):
         real_ctx = self.ctx
         self.ctx = replace(
             real_ctx,
-            network=_NullNetwork(),  # type: ignore[arg-type]
+            network=NullTransport(),
             collector=MetricsCollector(),
             history=HistoryRecorder(enabled=False),
             tracer=None,

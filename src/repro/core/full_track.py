@@ -73,14 +73,14 @@ class FullTrackProtocol(CausalProtocol):
 
         ctx.collector.record_operation(True)
         ctx.history.record_write_op(
-            time=ctx.sim.now, site=self.site, var=var, value=value,
+            time=ctx.clock.now, site=self.site, var=var, value=value,
             write_id=wid, op_index=op_index, dests=dests,
         )
         if ctx.tracer is not None:
-            ctx.tracer.write_issued(self.site, ctx.sim.now, writer=wid.site,
+            ctx.tracer.write_issued(self.site, ctx.clock.now, writer=wid.site,
                                     clock=wid.clock, var=var)
         sm = FullTrackSM(var=var, value=value, write_id=wid, matrix=snapshot,
-                         issued_at=ctx.sim.now)
+                         issued_at=ctx.clock.now)
         self._multicast(dests, lambda d: sm, MessageKind.SM)
 
         if self.site in dests:
@@ -122,19 +122,19 @@ class FullTrackProtocol(CausalProtocol):
 
     def _apply_sm(self, src: int, message: object) -> None:
         assert isinstance(message, FullTrackSM)
-        self.ctx.collector.record_visibility(self.ctx.sim.now - message.issued_at)
+        self.ctx.collector.record_visibility(self.ctx.clock.now - message.issued_at)
         self._apply_local(message.var, message.value, message.write_id, message.matrix)
 
     def _apply_local(
         self, var: int, value: object, wid: WriteId, matrix: MatrixClock
     ) -> None:
         ctx = self.ctx
-        ctx.store.apply(var, value, wid, ctx.sim.now)
+        ctx.store.apply(var, value, wid, ctx.clock.now)
         self.applied[wid.site] += 1
         self._note_applied(wid.site)
         self.last_write_on[var] = (wid, matrix)
         if ctx.history.enabled:
-            ctx.history.record_apply(time=ctx.sim.now, site=self.site, var=var, write_id=wid)
+            ctx.history.record_apply(time=ctx.clock.now, site=self.site, var=var, write_id=wid)
 
     def _serve_fetch(self, src: int, message: FetchMessage) -> None:
         slot = self.ctx.store.read(message.var)
@@ -144,7 +144,7 @@ class FullTrackProtocol(CausalProtocol):
         else:
             wid, matrix = stored
         self.ctx.history.record_remote_return(
-            time=self.ctx.sim.now, site=self.site, peer=src, var=message.var
+            time=self.ctx.clock.now, site=self.site, peer=src, var=message.var
         )
         self._send(
             src,

@@ -63,14 +63,14 @@ class HBTrackProtocol(CausalProtocol):
 
         ctx.collector.record_operation(True)
         ctx.history.record_write_op(
-            time=ctx.sim.now, site=self.site, var=var, value=value,
+            time=ctx.clock.now, site=self.site, var=var, value=value,
             write_id=wid, op_index=op_index,
         )
         if ctx.tracer is not None:
-            ctx.tracer.write_issued(self.site, ctx.sim.now, writer=wid.site,
+            ctx.tracer.write_issued(self.site, ctx.clock.now, writer=wid.site,
                                     clock=wid.clock, var=var)
         sm = OptPSM(var=var, value=value, write_id=wid, vector=snapshot,
-                    issued_at=ctx.sim.now)
+                    issued_at=ctx.clock.now)
         self._multicast(range(self.n), lambda d: sm, MessageKind.SM)
 
         self._apply_value(var, value, wid, snapshot)
@@ -102,7 +102,7 @@ class HBTrackProtocol(CausalProtocol):
 
     def _apply_sm(self, src: int, message: object) -> None:
         assert isinstance(message, OptPSM)
-        self.ctx.collector.record_visibility(self.ctx.sim.now - message.issued_at)
+        self.ctx.collector.record_visibility(self.ctx.clock.now - message.issued_at)
         self._apply_value(message.var, message.value, message.write_id,
                           message.vector)
 
@@ -110,7 +110,7 @@ class HBTrackProtocol(CausalProtocol):
         self, var: int, value: object, wid: WriteId, vector: VectorClock
     ) -> None:
         ctx = self.ctx
-        ctx.store.apply(var, value, wid, ctx.sim.now)
+        ctx.store.apply(var, value, wid, ctx.clock.now)
         if self.applied[wid.site] != wid.clock - 1:
             raise AssertionError(
                 f"activation violated FIFO: {wid} after count {self.applied[wid.site]}"
@@ -123,7 +123,7 @@ class HBTrackProtocol(CausalProtocol):
         # whether or not its value is ever read (false causality)
         self.write_clock.merge(vector)
         if ctx.history.enabled:
-            ctx.history.record_apply(time=ctx.sim.now, site=self.site, var=var, write_id=wid)
+            ctx.history.record_apply(time=ctx.clock.now, site=self.site, var=var, write_id=wid)
 
     # ------------------------------------------------------------------
     # crash-recovery hooks

@@ -1,0 +1,156 @@
+"""Substrate-neutral transport policy: retransmission, flow control, RTO.
+
+These objects parameterize the *reliable channel* abstraction behind the
+:class:`~repro.core.ports.Transport` port.  They are pure data + pure
+arithmetic — no timers, no sockets, no simulator — so both substrates
+share them verbatim:
+
+* the discrete-event chaos transport
+  (:class:`~repro.sim.reliable.ReliableChannel`) arms kernel timers from
+  the RTO the estimator computes;
+* the live service transport (:mod:`repro.service.channel`) arms asyncio
+  timers from the *same* estimator over wall-clock RTT samples.
+
+Historically these lived in :mod:`repro.sim.reliable` (PR 8); they moved
+here in the substrate-port refactor, following the same idiom as the
+membership exceptions in :mod:`repro.core.errors` — the sim module
+re-exports them, so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["OverloadError", "RetransmitPolicy", "RtoEstimator"]
+
+
+class OverloadError(RuntimeError):
+    """A write was refused because the site's outbound backlog exceeds
+    the shed threshold — graceful degradation under overload, the
+    transport analogue of PR-6's typed membership errors."""
+
+    def __init__(self, site: int, backlog: int, threshold: int) -> None:
+        super().__init__(
+            f"site {site} is overloaded: {backlog} packets backlogged "
+            f"(shed threshold {threshold}); retry once the backlog drains"
+        )
+        self.site = site
+        self.backlog = backlog
+        self.threshold = threshold
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Retransmission timer + flow-control parameters (TCP-ish, simplified)."""
+
+    #: initial retransmission timeout; also the fixed RTO when
+    #: ``adaptive=False`` (must exceed one round trip or the sender
+    #: retransmits spuriously — allowed, just wasteful)
+    base_rto_ms: float = 250.0
+    #: multiplicative backoff applied after every timeout
+    backoff: float = 2.0
+    #: cap on the backed-off timeout
+    max_rto_ms: float = 8000.0
+    #: uniform jitter added to each armed timer (desynchronizes channels)
+    jitter_ms: float = 25.0
+    #: estimate the RTO per channel (Jacobson/Karels SRTT + RTTVAR with
+    #: Karn's rule); ``False`` keeps the fixed ``base_rto_ms`` policy
+    adaptive: bool = True
+    #: floor of the adaptive RTO (spurious-retransmit guard)
+    min_rto_ms: float = 50.0
+    #: max packets in flight (unacked) per channel; excess sends queue
+    #: in the channel's backlog and raise backpressure
+    send_window: int = 64
+    #: max out-of-order packets buffered per receiving channel; overflow
+    #: is dropped (the sender's timer re-covers it)
+    reorder_window: int = 256
+    #: max packets retransmitted in one burst by a heal flush; the rest
+    #: is paced across roughly one estimated RTT
+    heal_burst: int = 16
+    #: consecutive timeouts that trip a channel's circuit breaker into
+    #: degraded probe mode (0 disables the breaker)
+    breaker_failures: int = 6
+    #: how long a backpressured site delays its next operation
+    backpressure_delay_ms: float = 5.0
+    #: consecutive delays before an operation proceeds anyway (bounds
+    #: admission latency so a stuck channel cannot starve the schedule)
+    backpressure_limit: int = 64
+    #: total backlogged packets at one sender site beyond which PUT
+    #: admission sheds with :class:`OverloadError` (0 disables shedding)
+    shed_backlog: int = 512
+
+    def __post_init__(self) -> None:
+        if self.base_rto_ms <= 0 or self.max_rto_ms < self.base_rto_ms:
+            raise ValueError("need 0 < base_rto_ms <= max_rto_ms")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.jitter_ms < 0:
+            raise ValueError("jitter must be non-negative")
+        if self.min_rto_ms <= 0 or self.min_rto_ms > self.max_rto_ms:
+            raise ValueError("need 0 < min_rto_ms <= max_rto_ms")
+        if self.send_window < 1:
+            raise ValueError("send_window must be >= 1")
+        if self.reorder_window < 1:
+            raise ValueError("reorder_window must be >= 1")
+        if self.heal_burst < 1:
+            raise ValueError("heal_burst must be >= 1")
+        if self.breaker_failures < 0:
+            raise ValueError("breaker_failures must be >= 0")
+        if self.backpressure_delay_ms <= 0:
+            raise ValueError("backpressure_delay_ms must be positive")
+        if self.backpressure_limit < 1:
+            raise ValueError("backpressure_limit must be >= 1")
+        if self.shed_backlog < 0:
+            raise ValueError("shed_backlog must be >= 0")
+
+
+class RtoEstimator:
+    """Jacobson/Karels SRTT + RTTVAR estimator for one directed channel.
+
+    Pure arithmetic over RTT samples in ms; the owning channel decides
+    *which* samples to feed (Karn's rule: never sample a retransmitted
+    packet's ack) and what to do with the resulting timeout.  Slotted —
+    one instance per channel, touched on every ack.
+    """
+
+    __slots__ = ("policy", "srtt", "rttvar", "samples")
+
+    def __init__(self, policy: RetransmitPolicy) -> None:
+        self.policy = policy
+        #: smoothed RTT in ms (None before the first sample)
+        self.srtt: Optional[float] = None
+        #: RTT mean-deviation in ms (0 before the first sample)
+        self.rttvar = 0.0
+        #: lifetime accepted sample count
+        self.samples = 0
+
+    def sample(self, rtt: float) -> None:
+        """Fold one RTT sample in (alpha = 1/8, beta = 1/4)."""
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            err = rtt - self.srtt
+            self.rttvar += 0.25 * (abs(err) - self.rttvar)
+            self.srtt += 0.125 * err
+        self.samples += 1
+
+    def fresh_rto(self) -> float:
+        """RTO for a freshly-restarted timer: ``SRTT + 4·RTTVAR`` clamped
+        to ``[min_rto_ms, max_rto_ms]`` when samples exist, the static
+        base otherwise (also the fixed-policy path)."""
+        policy = self.policy
+        if not policy.adaptive or self.srtt is None:
+            return policy.base_rto_ms
+        rto = self.srtt + 4.0 * self.rttvar
+        return min(max(rto, policy.min_rto_ms), policy.max_rto_ms)
+
+    def reset(self) -> None:
+        """Forget all samples (estimator state dies with its process)."""
+        self.srtt = None
+        self.rttvar = 0.0
+
+    def __repr__(self) -> str:
+        return (f"RtoEstimator(srtt={self.srtt}, rttvar={self.rttvar:.3f}, "
+                f"samples={self.samples})")

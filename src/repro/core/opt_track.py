@@ -80,11 +80,11 @@ class OptTrackProtocol(CausalProtocol):
 
         ctx.collector.record_operation(True)
         ctx.history.record_write_op(
-            time=ctx.sim.now, site=self.site, var=var, value=value,
+            time=ctx.clock.now, site=self.site, var=var, value=value,
             write_id=wid, op_index=op_index, dests=dests,
         )
         if ctx.tracer is not None:
-            ctx.tracer.write_issued(self.site, ctx.sim.now, writer=wid.site,
+            ctx.tracer.write_issued(self.site, ctx.clock.now, writer=wid.site,
                                     clock=wid.clock, var=var,
                                     log_size=len(self.log))
 
@@ -98,7 +98,7 @@ class OptTrackProtocol(CausalProtocol):
 
             def make_sm(d: int) -> OptTrackSM:
                 return OptTrackSM(var=var, value=value, write_id=wid,
-                                  log=views[d], issued_at=ctx.sim.now)
+                                  log=views[d], issued_at=ctx.clock.now)
 
         else:  # ablation mode: ship the unpruned log everywhere
             snapshot = self.log.snapshot()
@@ -106,7 +106,7 @@ class OptTrackProtocol(CausalProtocol):
 
             def make_sm(d: int) -> OptTrackSM:
                 return OptTrackSM(var=var, value=value, write_id=wid,
-                                  log=snapshot, issued_at=ctx.sim.now)
+                                  log=snapshot, issued_at=ctx.clock.now)
 
         # placement.replicas() is exactly sorted(dests), pre-sorted
         self._multicast(ctx.placement.replicas(var), make_sm, MessageKind.SM)
@@ -172,7 +172,7 @@ class OptTrackProtocol(CausalProtocol):
 
     def _apply_sm(self, src: int, message: object) -> None:
         assert isinstance(message, OptTrackSM)
-        self.ctx.collector.record_visibility(self.ctx.sim.now - message.issued_at)
+        self.ctx.collector.record_visibility(self.ctx.clock.now - message.issued_at)
         wid = message.write_id
         # The write's remaining destinations exclude the writer: if it
         # replicates the variable it applied its own write at the write
@@ -208,7 +208,7 @@ class OptTrackProtocol(CausalProtocol):
         stored_log: tuple[PiggybackEntry, ...],
     ) -> None:
         ctx = self.ctx
-        ctx.store.apply(var, value, wid, ctx.sim.now)
+        ctx.store.apply(var, value, wid, ctx.clock.now)
         if wid.clock <= self.applied[wid.site]:
             raise AssertionError(
                 f"FIFO violation: applying {wid} after clock {self.applied[wid.site]}"
@@ -217,7 +217,7 @@ class OptTrackProtocol(CausalProtocol):
         self._note_applied(wid.site)
         self.last_write_on[var] = (wid, dests - self._me_set, stored_log)
         if ctx.history.enabled:
-            ctx.history.record_apply(time=ctx.sim.now, site=self.site, var=var, write_id=wid)
+            ctx.history.record_apply(time=ctx.clock.now, site=self.site, var=var, write_id=wid)
 
     def _serve_fetch(self, src: int, message: FetchMessage) -> None:
         slot = self.ctx.store.read(message.var)
@@ -231,7 +231,7 @@ class OptTrackProtocol(CausalProtocol):
             # its dependency log so the reader can merge all of it.
             rm_log = piggy + (PiggybackEntry(wid.site, wid.clock, wdests),)
         self.ctx.history.record_remote_return(
-            time=self.ctx.sim.now, site=self.site, peer=src, var=message.var
+            time=self.ctx.clock.now, site=self.site, peer=src, var=message.var
         )
         self._send(
             src,

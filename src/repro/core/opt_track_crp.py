@@ -61,17 +61,17 @@ class OptTrackCRPProtocol(CausalProtocol):
         dests = self._broadcast_dests()
         ctx.collector.record_operation(True)
         ctx.history.record_write_op(
-            time=ctx.sim.now, site=self.site, var=var, value=value,
+            time=ctx.clock.now, site=self.site, var=var, value=value,
             write_id=wid, op_index=op_index, dests=dests,
         )
         if ctx.tracer is not None:
-            ctx.tracer.write_issued(self.site, ctx.sim.now, writer=wid.site,
+            ctx.tracer.write_issued(self.site, ctx.clock.now, writer=wid.site,
                                     clock=wid.clock, var=var,
                                     log_size=len(self.log))
 
         piggy = self.log.entries()  # the write's dependencies (pre-reset log)
         sm = CRPSM(var=var, value=value, write_id=wid, log=piggy,
-                   issued_at=ctx.sim.now)
+                   issued_at=ctx.clock.now)
         self._multicast(dests, lambda d: sm, MessageKind.SM)
 
         # Local apply + log reset: the new write subsumes everything the
@@ -113,12 +113,12 @@ class OptTrackCRPProtocol(CausalProtocol):
 
     def _apply_sm(self, src: int, message: object) -> None:
         assert isinstance(message, CRPSM)
-        self.ctx.collector.record_visibility(self.ctx.sim.now - message.issued_at)
+        self.ctx.collector.record_visibility(self.ctx.clock.now - message.issued_at)
         self._apply_value(message.var, message.value, message.write_id)
 
     def _apply_value(self, var: int, value: object, wid: WriteId) -> None:
         ctx = self.ctx
-        ctx.store.apply(var, value, wid, ctx.sim.now)
+        ctx.store.apply(var, value, wid, ctx.clock.now)
         if self.applied[wid.site] != wid.clock - 1:
             raise AssertionError(
                 f"activation violated FIFO: {wid} after clock {self.applied[wid.site]}"
@@ -127,7 +127,7 @@ class OptTrackCRPProtocol(CausalProtocol):
         self._note_applied(wid.site)
         self.last_write_on[var] = wid
         if ctx.history.enabled:
-            ctx.history.record_apply(time=ctx.sim.now, site=self.site, var=var, write_id=wid)
+            ctx.history.record_apply(time=ctx.clock.now, site=self.site, var=var, write_id=wid)
 
     # ------------------------------------------------------------------
     # crash-recovery hooks

@@ -386,7 +386,7 @@ def run_simulation(
             placement=placement,
             store=SiteStore(i, placement.vars_at(i)),
             network=network,
-            sim=sim,
+            clock=sim,
             collector=collector,
             size_model=config.size_model,
             history=history,
@@ -444,7 +444,7 @@ def run_simulation(
                 placement=placement,
                 store=SiteStore(new_id, placement.vars_at(new_id)),
                 network=network,
-                sim=sim,
+                clock=sim,
                 collector=collector,
                 size_model=config.size_model,
                 history=history,

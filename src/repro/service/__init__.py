@@ -1,0 +1,67 @@
+"""Live service substrate: the protocol cores behind real sockets.
+
+This package is the second implementation of the substrate ports in
+:mod:`repro.core.ports` (the discrete-event simulator is the first).
+The exact protocol objects that run under the simulator serve real
+traffic here — nothing in :mod:`repro.core` changes, only the injected
+seams do:
+
+================  =============================  =========================
+port              simulator substrate            service substrate
+================  =============================  =========================
+``Clock``         :class:`~repro.sim.engine.Simulator`  event-loop wall clock
+``TimerService``  kernel event heap              ``loop.call_later``
+``Transport``     :class:`~repro.sim.network.Network`   TCP + :mod:`~repro.service.channel`
+``Durability``    :class:`~repro.sim.checkpoint.SiteDisk`  (not yet wired)
+================  =============================  =========================
+
+Modules:
+
+* :mod:`~repro.service.codec` — deterministic length-prefixed wire
+  format for every sendable message type (``WIRE_FIELDS``);
+* :mod:`~repro.service.runtime` — wall ``Clock``/``TimerService`` over
+  an asyncio loop, plus the deterministic :class:`StepClock` used by
+  in-process tests;
+* :mod:`~repro.service.channel` — reliable exactly-once FIFO channel
+  over a (re)connectable byte stream, reusing the PR-8
+  :class:`~repro.core.netpolicy.RetransmitPolicy` /
+  :class:`~repro.core.netpolicy.RtoEstimator` policy objects;
+* :mod:`~repro.service.node` — the substrate-independent
+  :class:`NodeCore` plus the asyncio TCP node (one OS process per site);
+* :mod:`~repro.service.api` — client-facing HTTP JSON GET/PUT/status;
+* :mod:`~repro.service.bootstrap` — static cluster topology files;
+* :mod:`~repro.service.loopback` — in-process loopback substrate for
+  the sim/live equivalence tests (no sockets, no wall clock);
+* :mod:`~repro.service.history` — per-node JSONL history streaming and
+  the merge loader the causal checker consumes.
+
+This is the only layer (outside the harness) permitted NETWORK and
+WALL_CLOCK effects — ``layers.toml`` forbids ``socket``/``asyncio``
+everywhere below, and the effect baseline records every use here.
+"""
+
+from .bootstrap import (
+    ClusterTopology,
+    NodeSpec,
+    build_placement,
+    default_topology,
+    load_topology,
+    save_topology,
+)
+from .codec import WIRE_FIELDS, decode_message, encode_message
+from .loopback import LoopbackCluster
+from .node import NodeCore
+
+__all__ = [
+    "ClusterTopology",
+    "NodeSpec",
+    "build_placement",
+    "default_topology",
+    "load_topology",
+    "save_topology",
+    "WIRE_FIELDS",
+    "decode_message",
+    "encode_message",
+    "LoopbackCluster",
+    "NodeCore",
+]

@@ -1,0 +1,194 @@
+"""Minimal HTTP/1.1 JSON API for a live node, over asyncio streams.
+
+Hand-rolled on purpose: the container ships no HTTP framework and the
+surface is four routes, so a small request parser over
+``asyncio.start_server`` keeps the node dependency-free.  Every response
+closes the connection (``Connection: close``) — load generators open a
+fresh connection per request, which doubles as a crude fairness valve.
+
+Routes::
+
+    GET  /status        node + transport counters (JSON)
+    GET  /history       the node's event history (JSONL text)
+    GET  /kv/<var>      r(x_var); blocks until the causal read completes
+    PUT  /kv/<var>      w(x_var)value; body {"value": <json>}
+
+Examples::
+
+    curl http://127.0.0.1:7503/status
+    curl -X PUT -d '{"value": 41}' http://127.0.0.1:7503/kv/0
+    curl http://127.0.0.1:7504/kv/0
+
+PUT returns 503 with ``{"error": "overloaded"}`` when admission control
+sheds the write (the paper's overload regime, PR 8), and GET returns 504
+if a remote read's RM never arrives within the node's read timeout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Optional
+
+from ..core.netpolicy import OverloadError
+from .history import dump_events
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .node import ServiceNode
+
+__all__ = ["serve_http"]
+
+#: refuse request bodies larger than this (1 MiB)
+MAX_BODY_BYTES = 1024 * 1024
+
+
+def _response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+) -> bytes:
+    reason = {
+        200: "OK", 400: "Bad Request", 404: "Not Found",
+        405: "Method Not Allowed", 500: "Internal Server Error",
+        503: "Service Unavailable", 504: "Gateway Timeout",
+    }.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def _json_response(status: int, payload: dict) -> bytes:
+    return _response(
+        status, (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    )
+
+
+def _wid_dict(write_id) -> Optional[dict]:
+    if write_id is None:
+        return None
+    return {"site": write_id.site, "clock": write_id.clock}
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[tuple[str, str, bytes]]:
+    """Parse one request; returns (method, path, body) or None on EOF."""
+    try:
+        request_line = await reader.readline()
+    except ConnectionError:
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        return None
+    method, path = parts[0].upper(), parts[1]
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                content_length = 0
+    if content_length > MAX_BODY_BYTES:
+        raise ValueError(f"request body of {content_length} bytes too large")
+    body = (
+        await reader.readexactly(content_length) if content_length else b""
+    )
+    return method, path, body
+
+
+async def _handle(node: "ServiceNode", method: str, path: str,
+                  body: bytes) -> bytes:
+    if path == "/status":
+        if method != "GET":
+            return _json_response(405, {"error": "method not allowed"})
+        return _json_response(200, node.status())
+
+    if path == "/history":
+        if method != "GET":
+            return _json_response(405, {"error": "method not allowed"})
+        return _response(
+            200,
+            dump_events(node.core.history.events).encode("utf-8"),
+            content_type="application/x-ndjson",
+        )
+
+    if path.startswith("/kv/"):
+        try:
+            var = int(path[len("/kv/"):])
+        except ValueError:
+            return _json_response(400, {"error": f"bad variable in {path!r}"})
+        if not 0 <= var < node.topology.n_vars:
+            return _json_response(404, {"error": f"no variable {var}"})
+
+        if method == "GET":
+            try:
+                value, write_id, remote = await node.get(var)
+            except asyncio.TimeoutError:
+                return _json_response(
+                    504, {"error": "read timed out", "var": var}
+                )
+            return _json_response(200, {
+                "var": var, "value": value,
+                "write_id": _wid_dict(write_id), "remote": remote,
+            })
+
+        if method == "PUT":
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return _json_response(400, {"error": "body is not JSON"})
+            if not isinstance(payload, dict) or "value" not in payload:
+                return _json_response(
+                    400, {"error": 'body must be {"value": <json>}'}
+                )
+            try:
+                wid = node.put(var, payload["value"])
+            except OverloadError as exc:
+                return _json_response(503, {
+                    "error": "overloaded", "var": var,
+                    "backlog": exc.backlog, "threshold": exc.threshold,
+                })
+            return _json_response(200, {
+                "var": var, "value": payload["value"],
+                "write_id": _wid_dict(wid),
+            })
+
+        return _json_response(405, {"error": "method not allowed"})
+
+    return _json_response(404, {"error": f"no route {path!r}"})
+
+
+async def serve_http(
+    node: "ServiceNode", host: str, port: int
+) -> asyncio.base_events.Server:
+    """Start the API listener; returns the asyncio server handle."""
+
+    async def _client(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await _read_request(reader)
+            if request is not None:
+                method, path, body = request
+                try:
+                    writer.write(await _handle(node, method, path, body))
+                except Exception as exc:  # surface, don't kill the node
+                    writer.write(_json_response(500, {"error": str(exc)}))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+            pass
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(_client, host, port)

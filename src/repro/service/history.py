@@ -1,0 +1,101 @@
+"""Per-node JSONL histories and the merge the causal checker consumes.
+
+Live nodes record exactly the events the simulator records — every
+protocol interaction flows through the same
+:class:`~repro.verify.history.HistoryRecorder` injected via
+``ProtocolContext`` — and :class:`HistorySink` streams each new
+:class:`~repro.sim.events.EventRecord` (a pure data vocabulary, see the
+data-only port in ``layers.toml``) to an append-only JSONL file, one
+``as_dict`` object per line.
+
+:func:`merge_histories` concatenates per-node files *in site order* into
+one recorder.  That is sufficient for
+:func:`~repro.verify.causal_checker.check_causal_consistency`: the
+checker derives program order and apply order per site (each node's file
+preserves its own recording order) and the cross-site read-from relation
+from write ids — it never compares raw timestamps across nodes, so the
+unsynchronized per-node wall clocks are harmless.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..sim.events import EventRecord
+from ..verify.history import HistoryRecorder
+
+__all__ = [
+    "HistorySink",
+    "dump_events",
+    "load_events",
+    "merge_histories",
+    "merge_event_lists",
+]
+
+
+class HistorySink:
+    """Streams a recorder's new events to an append-only JSONL file.
+
+    The recorder stays the single source of truth (checkers can read it
+    in-process); the sink just mirrors increments to disk so the history
+    survives the node and CI can upload it as an artifact.
+    """
+
+    def __init__(self, recorder: HistoryRecorder, path: "str | Path") -> None:
+        self.recorder = recorder
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._flushed = 0
+        self._fh = self.path.open("w", encoding="utf-8")
+
+    def flush(self) -> int:
+        """Write every not-yet-mirrored event; returns how many."""
+        events = self.recorder.events
+        new = events[self._flushed:]
+        for event in new:
+            self._fh.write(json.dumps(event.as_dict(), sort_keys=True))
+            self._fh.write("\n")
+        if new:
+            self._fh.flush()
+            self._flushed = len(events)
+        return len(new)
+
+    def close(self) -> None:
+        self.flush()
+        self._fh.close()
+
+
+def dump_events(events: Iterable[EventRecord]) -> str:
+    """The JSONL text of an event sequence (HTTP /history responses)."""
+    return "".join(
+        json.dumps(e.as_dict(), sort_keys=True) + "\n" for e in events
+    )
+
+
+def load_events(text: str) -> list[EventRecord]:
+    """Parse JSONL history text (inverse of :func:`dump_events`)."""
+    out = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            out.append(EventRecord.from_dict(json.loads(line)))
+    return out
+
+
+def merge_event_lists(
+    per_site: Sequence[Sequence[EventRecord]],
+) -> HistoryRecorder:
+    """One recorder from per-node event lists, concatenated in site order."""
+    merged = HistoryRecorder(enabled=True)
+    for events in per_site:
+        merged.extend(events)
+    return merged
+
+
+def merge_histories(paths: Sequence["str | Path"]) -> HistoryRecorder:
+    """Load per-node JSONL files (given in site order) into one recorder."""
+    return merge_event_lists(
+        [load_events(Path(p).read_text(encoding="utf-8")) for p in paths]
+    )

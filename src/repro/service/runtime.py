@@ -1,0 +1,148 @@
+"""Clock and timer implementations for the live substrate.
+
+:class:`AsyncioScheduler` satisfies the :class:`~repro.core.ports.Scheduler`
+port over a running asyncio loop: ``now`` is the loop's monotonic time
+rebased to node start and scaled to milliseconds (the unit every port
+consumer — protocols, channels, history records — already speaks), and
+``schedule`` wraps ``loop.call_later``.  This module is the sanctioned
+home of the service layer's WALL_CLOCK effect; the static effect
+analyzer recognizes ``loop.time``/``loop.call_later`` as wall-clock
+leaves, so a stray import below this layer trips the purity gate.
+
+:class:`StepClock` is the deterministic twin used by in-process tests:
+a manually advanced clock with the same ``schedule`` surface, so channel
+and node logic can be exercised without real time or sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from typing import Callable, Optional
+
+__all__ = ["AsyncioScheduler", "AsyncioTimer", "StepClock", "StepTimer"]
+
+
+class AsyncioTimer:
+    """:class:`~repro.core.ports.TimerHandle` over ``loop.call_later``."""
+
+    __slots__ = ("_handle",)
+
+    def __init__(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+
+    def cancel(self) -> None:
+        self._handle.cancel()
+
+
+class AsyncioScheduler:
+    """Wall :class:`~repro.core.ports.Clock` + ``TimerService`` over asyncio.
+
+    The epoch is construction time, so ``now`` starts near 0 like the
+    simulator's — timestamps in live histories are "ms since node start".
+    """
+
+    __slots__ = ("_loop", "_origin")
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self._origin = self._loop.time()
+
+    @property
+    def now(self) -> float:
+        """Milliseconds since node start (wall time)."""
+        return (self._loop.time() - self._origin) * 1000.0
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        label: str = "",
+    ) -> AsyncioTimer:
+        """Run ``callback`` ``delay`` ms from now on the loop."""
+        return AsyncioTimer(
+            self._loop.call_later(max(delay, 0.0) / 1000.0, callback)
+        )
+
+
+class StepTimer:
+    """A cancellable pending :class:`StepClock` timer."""
+
+    __slots__ = ("when", "seq", "callback", "cancelled")
+
+    def __init__(self, when: float, seq: int,
+                 callback: Callable[[], None]) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "StepTimer") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+
+class StepClock:
+    """Deterministic manual scheduler: the test-side ``Scheduler`` port.
+
+    Time only moves when the test calls :meth:`advance` (firing due
+    timers in (deadline, arm-order) order) or :meth:`tick`.  No wall
+    clock, no event loop — loopback clusters stay bit-reproducible.
+    """
+
+    __slots__ = ("_now", "_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[StepTimer] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        label: str = "",
+    ) -> StepTimer:
+        timer = StepTimer(self._now + max(delay, 0.0), self._seq, callback)
+        self._seq += 1
+        # simcheck: ignore[SIM007] -- StepClock IS a scheduler: its own (when, seq) tie-break mirrors the engine's
+        heapq.heappush(self._heap, timer)
+        return timer
+
+    def tick(self, delta: float = 1.0) -> None:
+        """Move time forward without firing timers (loopback op spacing)."""
+        if delta < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += delta
+
+    def advance(self, delta: float) -> int:
+        """Run ``delta`` ms forward, firing every timer that comes due.
+
+        Returns the number of callbacks fired.
+        """
+        if delta < 0:
+            raise ValueError("time cannot move backwards")
+        deadline = self._now + delta
+        fired = 0
+        while self._heap and self._heap[0].when <= deadline:
+            # simcheck: ignore[SIM007] -- see schedule(): StepTimer orders by (when, seq)
+            timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = max(self._now, timer.when)
+            timer.callback()
+            fired += 1
+        self._now = deadline
+        return fired
+
+    @property
+    def pending_timers(self) -> int:
+        return sum(1 for t in self._heap if not t.cancelled)

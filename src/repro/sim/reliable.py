@@ -46,6 +46,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
+from ..core.netpolicy import OverloadError, RetransmitPolicy, RtoEstimator
 from .engine import ScheduledEvent
 from .faults import FaultInjector
 
@@ -69,86 +70,6 @@ __all__ = [
 
 #: modelled wire size of a cumulative ack (seq number + envelope)
 ACK_SIZE_BYTES = 20.0
-
-
-class OverloadError(RuntimeError):
-    """A write was refused because the site's outbound backlog exceeds
-    the shed threshold — graceful degradation under overload, the
-    transport analogue of PR-6's typed membership errors."""
-
-    def __init__(self, site: int, backlog: int, threshold: int) -> None:
-        super().__init__(
-            f"site {site} is overloaded: {backlog} packets backlogged "
-            f"(shed threshold {threshold}); retry once the backlog drains"
-        )
-        self.site = site
-        self.backlog = backlog
-        self.threshold = threshold
-
-
-@dataclass(frozen=True)
-class RetransmitPolicy:
-    """Retransmission timer + flow-control parameters (TCP-ish, simplified)."""
-
-    #: initial retransmission timeout; also the fixed RTO when
-    #: ``adaptive=False`` (must exceed one round trip or the sender
-    #: retransmits spuriously — allowed, just wasteful)
-    base_rto_ms: float = 250.0
-    #: multiplicative backoff applied after every timeout
-    backoff: float = 2.0
-    #: cap on the backed-off timeout
-    max_rto_ms: float = 8000.0
-    #: uniform jitter added to each armed timer (desynchronizes channels)
-    jitter_ms: float = 25.0
-    #: estimate the RTO per channel (Jacobson/Karels SRTT + RTTVAR with
-    #: Karn's rule); ``False`` keeps the fixed ``base_rto_ms`` policy
-    adaptive: bool = True
-    #: floor of the adaptive RTO (spurious-retransmit guard)
-    min_rto_ms: float = 50.0
-    #: max packets in flight (unacked) per channel; excess sends queue
-    #: in the channel's backlog and raise backpressure
-    send_window: int = 64
-    #: max out-of-order packets buffered per receiving channel; overflow
-    #: is dropped (the sender's timer re-covers it)
-    reorder_window: int = 256
-    #: max packets retransmitted in one burst by a heal flush; the rest
-    #: is paced across roughly one estimated RTT
-    heal_burst: int = 16
-    #: consecutive timeouts that trip a channel's circuit breaker into
-    #: degraded probe mode (0 disables the breaker)
-    breaker_failures: int = 6
-    #: how long a backpressured site delays its next operation
-    backpressure_delay_ms: float = 5.0
-    #: consecutive delays before an operation proceeds anyway (bounds
-    #: admission latency so a stuck channel cannot starve the schedule)
-    backpressure_limit: int = 64
-    #: total backlogged packets at one sender site beyond which PUT
-    #: admission sheds with :class:`OverloadError` (0 disables shedding)
-    shed_backlog: int = 512
-
-    def __post_init__(self) -> None:
-        if self.base_rto_ms <= 0 or self.max_rto_ms < self.base_rto_ms:
-            raise ValueError("need 0 < base_rto_ms <= max_rto_ms")
-        if self.backoff < 1.0:
-            raise ValueError("backoff must be >= 1")
-        if self.jitter_ms < 0:
-            raise ValueError("jitter must be non-negative")
-        if self.min_rto_ms <= 0 or self.min_rto_ms > self.max_rto_ms:
-            raise ValueError("need 0 < min_rto_ms <= max_rto_ms")
-        if self.send_window < 1:
-            raise ValueError("send_window must be >= 1")
-        if self.reorder_window < 1:
-            raise ValueError("reorder_window must be >= 1")
-        if self.heal_burst < 1:
-            raise ValueError("heal_burst must be >= 1")
-        if self.breaker_failures < 0:
-            raise ValueError("breaker_failures must be >= 0")
-        if self.backpressure_delay_ms <= 0:
-            raise ValueError("backpressure_delay_ms must be positive")
-        if self.backpressure_limit < 1:
-            raise ValueError("backpressure_limit must be >= 1")
-        if self.shed_backlog < 0:
-            raise ValueError("shed_backlog must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -186,9 +107,7 @@ class ReliableChannel:
         # RTT estimator (Jacobson/Karels); _retx is Karn's-rule taint,
         # _flight_ok marks seqs with at least one non-dropped attempt in
         # flight — a later resend of those is spurious by construction
-        self._srtt: Optional[float] = None
-        self._rttvar = 0.0
-        self.rtt_samples = 0
+        self._est = RtoEstimator(policy)
         self._sent_at: dict[int, float] = {}
         self._retx: set[int] = set()
         self._flight_ok: set[int] = set()
@@ -222,12 +141,17 @@ class ReliableChannel:
     @property
     def srtt(self) -> Optional[float]:
         """Smoothed RTT estimate in ms (None before the first sample)."""
-        return self._srtt
+        return self._est.srtt
 
     @property
     def rttvar(self) -> float:
         """RTT mean-deviation estimate in ms (0 before the first sample)."""
-        return self._rttvar
+        return self._est.rttvar
+
+    @property
+    def rtt_samples(self) -> int:
+        """Lifetime count of RTT samples accepted by the estimator."""
+        return self._est.samples
 
     # ------------------------------------------------------------------
     # sender side
@@ -291,23 +215,12 @@ class ReliableChannel:
 
     def _rtt_sample(self, rtt: float) -> None:
         """Jacobson/Karels: SRTT/RTTVAR EWMA (alpha=1/8, beta=1/4)."""
-        if self._srtt is None:
-            self._srtt = rtt
-            self._rttvar = rtt / 2.0
-        else:
-            err = rtt - self._srtt
-            self._rttvar += 0.25 * (abs(err) - self._rttvar)
-            self._srtt += 0.125 * err
-        self.rtt_samples += 1
+        self._est.sample(rtt)
 
     def _fresh_rto(self) -> float:
         """RTO for a freshly-restarted timer: estimated when samples
         exist, the static base otherwise (also the fixed-policy path)."""
-        policy = self.transport.policy
-        if not policy.adaptive or self._srtt is None:
-            return policy.base_rto_ms
-        rto = self._srtt + 4.0 * self._rttvar
-        return min(max(rto, policy.min_rto_ms), policy.max_rto_ms)
+        return self._est.fresh_rto()
 
     def _promote_backlog(self) -> None:
         """Move backlogged packets into freed window slots and transmit."""
@@ -355,7 +268,7 @@ class ReliableChannel:
         if rest:
             self._flush_queue.extend(rest)
             chunks = -(-len(rest) // burst)  # ceil division
-            rtt_est = (self._srtt if self._srtt is not None
+            rtt_est = (self._est.srtt if self._est.srtt is not None
                        else policy.base_rto_ms / 2.0)
             self._pace_ms = max(rtt_est / chunks, 0.01)
             self._schedule_pacer()
@@ -463,8 +376,7 @@ class ReliableChannel:
     def _reset_estimator(self) -> None:
         """Volatile sender state dies with a crash of ``src``; the
         durable unacked/backlog queues and seq numbers survive."""
-        self._srtt = None
-        self._rttvar = 0.0
+        self._est.reset()
         self._sent_at.clear()
         self._retx.clear()
         self._flight_ok.clear()

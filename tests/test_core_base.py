@@ -28,7 +28,7 @@ def make_ctx(site=0, n=3, placement=None):
     return ProtocolContext(
         site=site, n_sites=n, placement=placement,
         store=SiteStore(site, placement.vars_at(site)),
-        network=net, sim=sim, collector=MetricsCollector(),
+        network=net, clock=sim, collector=MetricsCollector(),
         size_model=DEFAULT_SIZE_MODEL,
     )
 
@@ -117,10 +117,10 @@ class TestDrainLoop:
         assert ctx.collector.activation_delays.count == 0
         # blocked message that unblocks later at a later sim time
         proto.on_message(0, CRPSM(var=0, value="c", write_id=WriteId(0, 3), log=()))
-        ctx.sim.schedule(10.0, lambda: proto.on_message(
+        ctx.clock.schedule(10.0, lambda: proto.on_message(
             0, CRPSM(var=0, value="b", write_id=WriteId(0, 2), log=())
         ))
-        ctx.sim.run()
+        ctx.clock.run()
         assert ctx.collector.activation_delays.count == 1
         assert ctx.collector.activation_delays.mean == pytest.approx(10.0)
 

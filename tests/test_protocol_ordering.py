@@ -35,7 +35,7 @@ def make_proto(name, site=1, n=3, placement=None):
     ctx = ProtocolContext(
         site=site, n_sites=n, placement=placement,
         store=SiteStore(site, placement.vars_at(site)),
-        network=net, sim=sim, collector=MetricsCollector(),
+        network=net, clock=sim, collector=MetricsCollector(),
         size_model=DEFAULT_SIZE_MODEL,
     )
     proto = create_protocol(name, ctx)
@@ -181,6 +181,6 @@ class TestOptTrackOrdering:
         assert proto.pending_count == 1  # held: requirement unmet
         proto.on_message(0, OptTrackSM(1, "dep", WriteId(0, 1), ()))
         assert proto.pending_count == 0
-        ctx.sim.run()
+        ctx.clock.run()
         assert len(net_sent) == 1      # the RM finally went out
         assert net_sent[0].value == "dep"

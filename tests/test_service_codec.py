@@ -1,0 +1,166 @@
+"""Wire-codec contract tests: WIRE_FIELDS registry + round-trip fidelity."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.check.sanitizer import fingerprint
+from repro.core.clocks import MatrixClock, VectorClock
+from repro.core.log import PiggybackEntry
+from repro.core.messages import (
+    CRPSM,
+    FetchMessage,
+    FullTrackRM,
+    FullTrackSM,
+    OptPSM,
+    OptTrackRM,
+    OptTrackSM,
+)
+from repro.memory.store import WriteId
+from repro.service.codec import (
+    MAX_FRAME_BYTES,
+    WIRE_FIELDS,
+    CodecError,
+    decode_message,
+    decode_value,
+    dumps,
+    encode_message,
+    encode_value,
+    loads,
+    pack_frame,
+    unpack_length,
+)
+
+ALL_MESSAGE_TYPES = (
+    FetchMessage, FullTrackSM, FullTrackRM,
+    OptTrackSM, OptTrackRM, CRPSM, OptPSM,
+)
+
+
+def _matrix(n=3):
+    m = MatrixClock(n)
+    m.m[0][1] = 4
+    m.m[2][2] = 9
+    return m
+
+
+def _vector(n=3):
+    v = VectorClock(n)
+    v.v[1] = 7
+    return v
+
+
+def _log():
+    return (
+        PiggybackEntry(0, 3, frozenset({1, 2})),
+        PiggybackEntry(2, 5, frozenset({0})),
+    )
+
+
+#: one representative instance per sendable type, exercising every
+#: value-algebra branch (WriteId, clocks, logs, tuples, None, floats)
+SAMPLES = [
+    FetchMessage(var=3, reader=1, request_id=17,
+                 requirements=((0, 2), (2, 5))),
+    FullTrackSM(var=0, value="v0", write_id=WriteId(0, 1),
+                matrix=_matrix(), issued_at=12.5),
+    FullTrackRM(var=1, value=None, write_id=None,
+                matrix=_matrix(), request_id=4),
+    OptTrackSM(var=2, value=41, write_id=WriteId(1, 2),
+               log=_log(), issued_at=0.0),
+    OptTrackRM(var=2, value={"k": [1, 2]}, write_id=WriteId(2, 9),
+               log=_log(), request_id=8),
+    CRPSM(var=5, value=3.25, write_id=WriteId(2, 3),
+          log=_log(), issued_at=99.0),
+    OptPSM(var=4, value=True, write_id=WriteId(1, 6),
+           vector=_vector(), issued_at=7.0),
+]
+
+
+class TestRegistry:
+    def test_every_sendable_type_is_registered(self):
+        assert set(WIRE_FIELDS) == set(ALL_MESSAGE_TYPES)
+
+    def test_registry_matches_dataclass_fields_exactly(self):
+        # a field added/renamed/reordered on a message without a codec
+        # update must fail HERE, not corrupt frames on the wire
+        for cls, wire_fields in WIRE_FIELDS.items():
+            declared = tuple(f.name for f in dataclasses.fields(cls))
+            assert wire_fields == declared, cls.__name__
+
+    def test_every_type_has_a_sample(self):
+        assert {type(s) for s in SAMPLES} == set(ALL_MESSAGE_TYPES)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "message", SAMPLES, ids=lambda m: type(m).__name__
+    )
+    def test_message_roundtrips_equal_and_fingerprinted(self, message):
+        decoded = decode_message(encode_message(message))
+        assert type(decoded) is type(message)
+        assert decoded == message
+        # structural fingerprint (PR-4 sanitizer): catches lookalikes
+        # __eq__ would accept, e.g. list-vs-tuple or int-vs-float drift
+        assert fingerprint(decoded) == fingerprint(message)
+
+    @pytest.mark.parametrize(
+        "message", SAMPLES, ids=lambda m: type(m).__name__
+    )
+    def test_encoding_is_canonical(self, message):
+        # equal values encode to identical bytes (and re-encoding the
+        # decoded copy is byte-stable)
+        first = encode_message(message)
+        assert encode_message(decode_message(first)) == first
+
+    def test_unknown_type_is_loud(self):
+        class Rogue:
+            pass
+
+        with pytest.raises(CodecError, match="not a registered wire type"):
+            encode_message(Rogue())
+
+    def test_field_count_mismatch_is_loud(self):
+        wire = json.loads(encode_message(SAMPLES[0]))
+        wire["f"].append(0)
+        with pytest.raises(CodecError, match="expects"):
+            decode_message(dumps(wire))
+
+
+class TestValueAlgebra:
+    @pytest.mark.parametrize("value", [
+        None, True, 0, -3, 2.5, "x", [1, "a"], {"k": 1},
+        WriteId(1, 2), (1, (2, 3)), frozenset({3, 1}),
+        {"!weird": 1, "!!worse": 2},  # tag-key escaping
+    ])
+    def test_values_roundtrip(self, value):
+        assert decode_value(json.loads(dumps(encode_value(value)))) == value
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(CodecError, match="keys must be strings"):
+            encode_value({1: "x"})
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            dumps(float("nan"))
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError, match="unknown wire tag"):
+            decode_value({"!": "nope"})
+
+
+class TestFraming:
+    def test_frame_roundtrip(self):
+        frame = pack_frame({"k": "ack", "src": 1, "cum": 9})
+        size = unpack_length(frame[:4])
+        assert loads(frame[4:4 + size]) == {"k": "ack", "src": 1, "cum": 9}
+
+    def test_length_cap_enforced(self):
+        huge = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(CodecError, match="exceeds the cap"):
+            unpack_length(huge)
+
+    def test_malformed_payload_is_codec_error(self):
+        with pytest.raises(CodecError, match="malformed"):
+            loads(b"{nope")

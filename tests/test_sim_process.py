@@ -23,7 +23,7 @@ def build_site(schedule_items, n=2, protocol="optp", on_operation=None):
         ctx = ProtocolContext(
             site=i, n_sites=n, placement=placement,
             store=SiteStore(i, placement.vars_at(i)),
-            network=net, sim=sim, collector=MetricsCollector(),
+            network=net, clock=sim, collector=MetricsCollector(),
             size_model=DEFAULT_SIZE_MODEL,
         )
         proto = create_protocol(protocol, ctx)
@@ -102,7 +102,7 @@ class TestBlockingRemoteReads:
             ctx = ProtocolContext(
                 site=i, n_sites=2, placement=placement,
                 store=SiteStore(i, placement.vars_at(i)),
-                network=net, sim=sim, collector=MC(),
+                network=net, clock=sim, collector=MC(),
                 size_model=DEFAULT_SIZE_MODEL,
             )
             proto = create_protocol("opt-track", ctx)
